@@ -1,0 +1,55 @@
+"""Ablation: sandwich operators (the [3] machinery BDCC enables).
+
+Paper: Q9 and Q13 are accelerated *strictly* by sandwiched execution, and
+memory drops across the board.  Compare BDCC with and without sandwiching
+on the join/aggregation-heavy queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.planner.executor import ExecutionOptions
+from repro.tpch.queries import QUERIES
+from repro.tpch.runner import run_query
+
+from conftest import write_report
+
+QUERY_SET = ["Q09", "Q13", "Q18", "Q21"]
+
+_rows = {}
+
+
+@pytest.mark.parametrize("mode", ["sandwich-on", "sandwich-off"])
+def test_sandwich_ablation(benchmark, mode, bench_pdbs, bench_env):
+    options = ExecutionOptions(enable_sandwich=(mode == "sandwich-on"))
+
+    def run():
+        per_query = {}
+        for qname in QUERY_SET:
+            _, metrics = run_query(
+                bench_pdbs["bdcc"], QUERIES[qname],
+                disk=bench_env.disk, costs=bench_env.cost_model,
+                options=options,
+            )
+            per_query[qname] = (metrics.total_seconds, metrics.peak_memory_bytes)
+        return per_query
+
+    per_query = benchmark.pedantic(run, rounds=1, iterations=1)
+    _rows[mode] = per_query
+    benchmark.extra_info["simulated_ms"] = round(
+        sum(s for s, _ in per_query.values()) * 1e3, 3
+    )
+    if len(_rows) == 2:
+        lines = [
+            f"Sandwich ablation (BDCC, SF={bench_env.scale_factor})",
+            f"{'query':<6}{'on ms':>10}{'off ms':>10}{'on MB':>10}{'off MB':>10}",
+        ]
+        for qname in QUERY_SET:
+            s_on, m_on = _rows["sandwich-on"][qname]
+            s_off, m_off = _rows["sandwich-off"][qname]
+            lines.append(
+                f"{qname:<6}{s_on * 1e3:10.3f}{s_off * 1e3:10.3f}"
+                f"{m_on / 1e6:10.4f}{m_off / 1e6:10.4f}"
+            )
+        write_report("ablation_sandwich", "\n".join(lines))

@@ -1,0 +1,66 @@
+"""Figure 2: cold execution times of all 22 TPC-H queries, Plain vs PK
+vs BDCC.
+
+Paper (SF100): totals 630.82 s (plain) / 491.33 s (PK) / 284.43 s (BDCC)
+— BDCC > 2x faster than plain and 42% faster than PK; Q1 shows no gain,
+Q16 a slight regression.  We reproduce the per-query and total *shape*
+with the simulated cost model; the report records paper vs measured.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tpch.harness import run_suite
+from repro.tpch.queries import QUERIES
+
+from conftest import write_report
+
+PAPER_TOTALS = {"plain": 630.82, "pk": 491.33, "bdcc": 284.43}
+
+_results = {}
+
+
+def _run_one_scheme(name, bench_pdbs, bench_env):
+    suite = run_suite({name: bench_pdbs[name]}, bench_env, queries=QUERIES)
+    return suite.schemes[name]
+
+
+@pytest.mark.parametrize("scheme", ["plain", "pk", "bdcc"])
+def test_fig2_scheme(benchmark, scheme, bench_pdbs, bench_env):
+    result = benchmark.pedantic(
+        _run_one_scheme, args=(scheme, bench_pdbs, bench_env),
+        rounds=1, iterations=1,
+    )
+    _results[scheme] = result
+    benchmark.extra_info["simulated_total_ms"] = round(result.total_seconds * 1e3, 3)
+    benchmark.extra_info["paper_total_s_sf100"] = PAPER_TOTALS[scheme]
+
+    if len(_results) == 3:
+        _report(bench_env)
+
+
+def _report(bench_env):
+    lines = [
+        f"Figure 2 — execution time per query (simulated ms, SF={bench_env.scale_factor})",
+        f"{'query':<6}{'plain':>12}{'pk':>12}{'bdcc':>12}",
+    ]
+    for q in sorted(_results["plain"].measurements):
+        lines.append(
+            f"{q:<6}"
+            + "".join(
+                f"{_results[s].measurements[q].seconds * 1e3:12.3f}"
+                for s in ("plain", "pk", "bdcc")
+            )
+        )
+    totals = {s: _results[s].total_seconds for s in _results}
+    lines.append(
+        f"{'total':<6}" + "".join(f"{totals[s] * 1e3:12.3f}" for s in ("plain", "pk", "bdcc"))
+    )
+    lines.append("")
+    lines.append("paper totals at SF100 [s]:   plain 630.82   pk 491.33   bdcc 284.43")
+    lines.append(
+        "measured ratios:  plain/bdcc %.2fx (paper 2.22x)   pk/bdcc %.2fx (paper 1.73x)"
+        % (totals["plain"] / totals["bdcc"], totals["pk"] / totals["bdcc"])
+    )
+    write_report("fig2_execution_times", "\n".join(lines))

@@ -1,0 +1,75 @@
+"""Figure 3: peak query memory of all 22 TPC-H queries per scheme.
+
+Paper (SF100): totals 38.09 GB (plain) / 10.74 GB (PK) / 1.68 GB (BDCC);
+averages 1.59 GB vs 0.09 GB (plain vs BDCC); peaks 8 GB vs 275 MB.  The
+sandwiched operators' per-group state is what flattens the BDCC bars.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tpch.harness import run_suite
+from repro.tpch.queries import QUERIES
+
+from conftest import write_report
+
+PAPER = {
+    "total_gb": {"plain": 38.09, "pk": 10.74, "bdcc": 1.68},
+    "avg_gb": {"plain": 1.59, "bdcc": 0.09},
+    "peak_gb": {"plain": 8.0, "bdcc": 0.275},
+}
+
+_results = {}
+
+
+def _run_one_scheme(name, bench_pdbs, bench_env):
+    suite = run_suite({name: bench_pdbs[name]}, bench_env, queries=QUERIES)
+    return suite.schemes[name]
+
+
+@pytest.mark.parametrize("scheme", ["plain", "pk", "bdcc"])
+def test_fig3_scheme(benchmark, scheme, bench_pdbs, bench_env):
+    result = benchmark.pedantic(
+        _run_one_scheme, args=(scheme, bench_pdbs, bench_env),
+        rounds=1, iterations=1,
+    )
+    _results[scheme] = result
+    benchmark.extra_info["simulated_total_MB"] = round(result.total_peak_memory / 1e6, 3)
+    benchmark.extra_info["simulated_max_MB"] = round(result.max_peak_memory / 1e6, 3)
+    benchmark.extra_info["paper_total_GB_sf100"] = PAPER["total_gb"][scheme]
+
+    if len(_results) == 3:
+        _report(bench_env)
+
+
+def _report(bench_env):
+    lines = [
+        f"Figure 3 — peak memory per query (simulated MB, SF={bench_env.scale_factor})",
+        f"{'query':<6}{'plain':>12}{'pk':>12}{'bdcc':>12}",
+    ]
+    for q in sorted(_results["plain"].measurements):
+        lines.append(
+            f"{q:<6}"
+            + "".join(
+                f"{_results[s].measurements[q].peak_memory_bytes / 1e6:12.4f}"
+                for s in ("plain", "pk", "bdcc")
+            )
+        )
+    lines.append(
+        f"{'total':<6}"
+        + "".join(f"{_results[s].total_peak_memory / 1e6:12.4f}" for s in ("plain", "pk", "bdcc"))
+    )
+    plain, pk, bdcc = (_results[s] for s in ("plain", "pk", "bdcc"))
+    lines.append("")
+    lines.append("paper totals at SF100 [GB]: plain 38.09  pk 10.74  bdcc 1.68")
+    lines.append(
+        "measured ratios: total plain/bdcc %.1fx (paper 22.7x); "
+        "avg plain/bdcc %.1fx (paper 17.7x); peak plain/bdcc %.1fx (paper 29x)"
+        % (
+            plain.total_peak_memory / max(bdcc.total_peak_memory, 1),
+            plain.avg_peak_memory / max(bdcc.avg_peak_memory, 1),
+            plain.max_peak_memory / max(bdcc.max_peak_memory, 1),
+        )
+    )
+    write_report("fig3_memory", "\n".join(lines))

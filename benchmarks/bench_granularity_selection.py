@@ -1,0 +1,75 @@
+"""Algorithm 1(iii): count-table granularity vs the efficient random
+access size A_R.
+
+Reproduces the paper's in-text LINEITEM computation — "the highest
+density column l_comment has 550000 pages, Algorithm 1 chose
+ceil(log2(550000)) = 20 bits" — and sweeps A_R at reproduction scale to
+show the knob working: bigger A_R, coarser count table, fewer but larger
+groups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bdcc_table import BDCCBuildConfig
+from repro.core.histograms import GranularityStats, choose_granularity
+from repro.tpch.harness import build_schemes
+
+from conftest import write_report
+
+
+def test_paper_lineitem_20_bits(benchmark):
+    """The SF100 computation, through the real selection rule."""
+
+    def compute():
+        pages = 550_000
+        page_bytes = 32 * 1024
+        rows = 6_000_000_000
+        bytes_per_tuple = pages * page_bytes / rows
+        total_bits = 36
+        stats = GranularityStats(
+            total_bits=total_bits,
+            num_groups=[min(2**g, rows) for g in range(total_bits + 1)],
+            median_group_size=[rows / 2**g for g in range(total_bits + 1)],
+            log_histograms=[np.zeros(1)] * (total_bits + 1),
+        )
+        return choose_granularity(stats, bytes_per_tuple, page_bytes)
+
+    chosen = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert chosen == 20
+    benchmark.extra_info["chosen_bits"] = chosen
+    write_report(
+        "granularity_paper_rule",
+        "LINEITEM at SF100: densest column 550000 x 32KB pages -> "
+        f"Algorithm 1 picks b = {chosen} bits (paper: 20)",
+    )
+
+
+def test_granularity_sweep(benchmark, bench_db, bench_env):
+    """A_R sweep at reproduction scale."""
+
+    def sweep():
+        rows = []
+        page = bench_env.page_model.page_bytes
+        for factor in (0.25, 0.5, 1.0, 2.0, 4.0, 8.0):
+            config = bench_env.advisor_config()
+            config.build = BDCCBuildConfig(efficient_access_bytes=page * factor)
+            pdbs = build_schemes(
+                bench_db, bench_env, include=("bdcc",), advisor_config=config
+            )
+            li = pdbs["bdcc"].bdcc_tables()["lineitem"]
+            rows.append((factor, li.granularity, li.count_table.num_groups))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"Count-table granularity vs A_R (LINEITEM, SF={bench_env.scale_factor})",
+        f"{'A_R/page':>9}{'b bits':>8}{'groups':>9}",
+    ]
+    for factor, bits, groups in rows:
+        lines.append(f"{factor:9.2f}{bits:8d}{groups:9d}")
+    granularities = [bits for _, bits, _ in rows]
+    assert granularities == sorted(granularities, reverse=True)
+    write_report("granularity_sweep", "\n".join(lines))

@@ -1,0 +1,55 @@
+"""Sweep of the sandwich group-bit budget.
+
+More group bits mean smaller per-group state (memory falls ~2^bits) but
+more per-group overhead and scatter accesses — the trade-off behind the
+paper's Q16 regression.  Swept on the sandwich-dominated queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.planner.executor import ExecutionOptions
+from repro.tpch.queries import QUERIES
+from repro.tpch.runner import run_query
+
+from conftest import write_report
+
+QUERY_SET = ["Q09", "Q13", "Q18"]
+BITS = [0, 2, 4, 8, 12]
+
+_rows = {}
+
+
+@pytest.mark.parametrize("bits", BITS)
+def test_sandwich_bits(benchmark, bits, bench_pdbs, bench_env):
+    options = ExecutionOptions(max_sandwich_bits=bits, enable_sandwich=bits > 0)
+
+    def run():
+        seconds = 0.0
+        memory = 0.0
+        for qname in QUERY_SET:
+            _, metrics = run_query(
+                bench_pdbs["bdcc"], QUERIES[qname],
+                disk=bench_env.disk, costs=bench_env.cost_model, options=options,
+            )
+            seconds += metrics.total_seconds
+            memory += metrics.peak_memory_bytes
+        return seconds, memory
+
+    seconds, memory = benchmark.pedantic(run, rounds=1, iterations=1)
+    _rows[bits] = (seconds, memory)
+    benchmark.extra_info.update(
+        simulated_ms=round(seconds * 1e3, 3), total_peak_MB=round(memory / 1e6, 4)
+    )
+    if len(_rows) == len(BITS):
+        lines = [
+            f"Sandwich bit-budget sweep over {QUERY_SET} (BDCC, SF={bench_env.scale_factor})",
+            f"{'bits':>5}{'sim ms':>10}{'sum peak MB':>13}",
+        ]
+        for bits_value in BITS:
+            s, m = _rows[bits_value]
+            lines.append(f"{bits_value:>5}{s * 1e3:10.3f}{m / 1e6:13.4f}")
+        memories = [_rows[b][1] for b in BITS]
+        assert memories[0] >= memories[-1]  # more bits, less memory
+        write_report("sandwich_bits_sweep", "\n".join(lines))

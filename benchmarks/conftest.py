@@ -1,0 +1,43 @@
+"""Benchmark fixtures: TPC-H data and the three physical schemes.
+
+Scale factor via ``REPRO_SF`` (default 0.02); results are printed and
+appended to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro import tpch
+from repro.tpch.environment import make_environment
+from repro.tpch.harness import build_schemes
+
+BENCH_SF = float(os.environ.get("REPRO_SF", "0.02"))
+BENCH_SEED = 7
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_db():
+    return tpch.generate(scale_factor=BENCH_SF, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_env():
+    return make_environment(BENCH_SF)
+
+
+@pytest.fixture(scope="session")
+def bench_pdbs(bench_db, bench_env):
+    return build_schemes(bench_db, bench_env)
+
+
+def write_report(name: str, text: str) -> None:
+    """Print a paper-style table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n")

@@ -1,0 +1,21 @@
+"""Relational catalog: datatypes, tables, foreign keys and index hints."""
+
+from .datatypes import BOOL, DATE, DECIMAL, FLOAT64, INT32, INT64, DataType, string_type
+from .schema import Column, ForeignKey, IndexHint, Schema, SchemaError, Table
+
+__all__ = [
+    "BOOL",
+    "DATE",
+    "DECIMAL",
+    "FLOAT64",
+    "INT32",
+    "INT64",
+    "DataType",
+    "string_type",
+    "Column",
+    "ForeignKey",
+    "IndexHint",
+    "Schema",
+    "SchemaError",
+    "Table",
+]

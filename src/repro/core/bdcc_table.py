@@ -1,0 +1,252 @@
+"""Algorithm 1: building a self-tuned BDCC table.
+
+Given a table's dimension uses, the builder:
+
+(i)   assigns round-robin (Z-order) masks until every dimension's full
+      granularity is used (``B`` total bits);
+(ii)  computes the ``_bdcc_`` key for every tuple, sorts the table on it,
+      and piggy-backs the group-size analysis over all granularities;
+(iii) picks the count-table granularity ``b <= B`` from the densest
+      column's byte density and the efficient random access size ``A_R``;
+(iv)  materialises ``T_COUNT`` at granularity ``b``;
+(v)   optionally consolidates very small groups: their tuples are copied
+      and appended contiguously, the original entries marked invalid —
+      the paper's post-bulk-load step for better buffer locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..storage.database import Database
+from .bits import gather_use_bits, scatter_bins_into_key, truncate_mask
+from .count_table import CountTable
+from .dimension_use import DimensionUse, check_bdcc_constraints
+from .histograms import GranularityStats, choose_granularity, collect_granularity_stats
+from .interleave import assign_masks, assign_masks_major_minor
+
+__all__ = ["BDCCTable", "BDCCBuildConfig", "build_bdcc_table"]
+
+
+@dataclass
+class BDCCBuildConfig:
+    """Knobs of Algorithm 1 (defaults follow the paper's evaluation)."""
+
+    #: efficient random access size A_R in bytes (32 KB flash, per [5]).
+    efficient_access_bytes: float = 32 * 1024
+    #: bit interleaving: "round_robin" (Z-order, the automatic choice) or
+    #: "major_minor" (the hand-tuned MDAM-style comparison layout).
+    interleave: str = "round_robin"
+    #: use the prose variant of Algorithm 1(i) that groups round-robin
+    #: turns by foreign key (see DESIGN.md §5).
+    fk_grouped: bool = False
+    #: consolidate groups smaller than A_R if they hold at most this
+    #: fraction of the data; None disables consolidation.
+    consolidate_max_fraction: Optional[float] = 0.1
+
+
+@dataclass
+class BDCCTable:
+    """A built BDCC table: physical order, key column, count table, stats.
+
+    ``row_source[i]`` is the original row index stored at position ``i``;
+    after small-group consolidation the storage holds duplicates, and only
+    the count table's *valid* entries see each logical row exactly once.
+    """
+
+    table: str
+    uses: List[DimensionUse]
+    total_bits: int
+    granularity: int
+    row_source: np.ndarray
+    keys: np.ndarray
+    count_table: CountTable
+    stats: GranularityStats
+    densest_column: str
+    densest_bytes_per_tuple: float
+    logical_rows: int
+
+    # ---------------------------------------------------------- accessors
+    @property
+    def stored_rows(self) -> int:
+        return len(self.row_source)
+
+    @property
+    def effective_uses(self) -> List[DimensionUse]:
+        """Dimension uses with masks truncated to the count-table
+        granularity — what the paper's LINEITEM table prints (20 of 36
+        bits at SF100)."""
+        return [u.truncated(self.total_bits, self.granularity) for u in self.uses]
+
+    def use_for(self, dimension_name: str, path: Tuple[str, ...]) -> Optional[DimensionUse]:
+        for use in self.uses:
+            if use.dimension.name == dimension_name and use.path == path:
+                return use
+        return None
+
+    # ------------------------------------------------------------- groups
+    def entry_group_values(self, use_index: int, num_bits: Optional[int] = None) -> np.ndarray:
+        """Per count-table entry: the group number of one dimension use
+        (its ``num_bits`` most significant bits)."""
+        use = self.uses[use_index]
+        eff_mask = truncate_mask(use.mask, self.total_bits, self.granularity)
+        return gather_use_bits(self.count_table.keys, eff_mask, num_bits)
+
+    def effective_bits(self, use_index: int) -> int:
+        """How many of this use's bits survive at count-table granularity."""
+        use = self.uses[use_index]
+        return bin(truncate_mask(use.mask, self.total_bits, self.granularity)).count("1")
+
+    def entries_matching(
+        self, restrictions: Sequence[Tuple[int, np.ndarray, int]]
+    ) -> np.ndarray:
+        """Count-table entry indices whose groups may satisfy all
+        restrictions.
+
+        Each restriction is ``(use_index, allowed_bins, bin_bits)`` where
+        ``allowed_bins`` are dimension bin numbers expressed with
+        ``bin_bits`` bits.  Bins are truncated to the use's effective bit
+        count, making the selection a superset — pushdown never loses
+        rows, the residual predicate still runs after the scan.
+        """
+        keep = self.count_table.valid.copy()
+        for use_index, allowed_bins, bin_bits in restrictions:
+            eff_bits = self.effective_bits(use_index)
+            if eff_bits == 0:
+                continue  # this use has no bits at count granularity
+            take = min(eff_bits, bin_bits)
+            entry_vals = self.entry_group_values(use_index, take)
+            allowed = np.unique(
+                np.asarray(allowed_bins, dtype=np.uint64) >> np.uint64(bin_bits - take)
+            )
+            keep &= np.isin(entry_vals, allowed)
+        return np.flatnonzero(keep)
+
+    def all_entries(self) -> np.ndarray:
+        return self.count_table.select_entries()
+
+
+def _widest_stored_column(db: Database, table: str) -> Tuple[str, float]:
+    definition = db.schema.table(table)
+    widest = max(definition.columns, key=lambda c: c.datatype.stored_bytes)
+    return widest.name, float(widest.datatype.stored_bytes)
+
+
+def build_bdcc_table(
+    db: Database,
+    table: str,
+    uses: Sequence[DimensionUse],
+    config: Optional[BDCCBuildConfig] = None,
+) -> BDCCTable:
+    """Run Algorithm 1 for one table.
+
+    The given uses need no masks; they are assigned here according to the
+    configured interleaving.  Dimension bin numbers are resolved over each
+    use's dimension path against the live database.
+    """
+    config = config or BDCCBuildConfig()
+    if not uses:
+        raise ValueError(f"table {table!r} needs at least one dimension use")
+    uses = [DimensionUse(u.dimension, u.path) for u in uses]  # private copies
+
+    # (i) mask assignment at maximal granularity B = sum bits(D(U_i))
+    bits_per_use = [u.dimension.bits for u in uses]
+    if config.interleave == "round_robin":
+        masks = assign_masks(
+            bits_per_use,
+            fk_groups=[u.first_fk for u in uses],
+            fk_grouped=config.fk_grouped,
+        )
+    elif config.interleave == "major_minor":
+        masks = assign_masks_major_minor(bits_per_use)
+    else:
+        raise ValueError(f"unknown interleave mode {config.interleave!r}")
+    total_bits = sum(bits_per_use)
+    for use, mask in zip(uses, masks):
+        use.mask = mask
+    check_bdcc_constraints(uses, total_bits)
+
+    # (ii) compute _bdcc_ at maximal granularity and sort
+    n = db.num_rows(table)
+    keys = np.zeros(n, dtype=np.uint64)
+    for use in uses:
+        values = db.resolve_path_values(table, use.path, use.dimension.key)
+        bins = use.dimension.bin_of_values(values)
+        scatter_bins_into_key(bins, use.dimension.bits, use.mask, keys)
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    stats = collect_granularity_stats(sorted_keys, total_bits)
+
+    # (iii) choose the count-table granularity from the densest column
+    densest_col, densest_bytes = _widest_stored_column(db, table)
+    granularity = choose_granularity(stats, densest_bytes, config.efficient_access_bytes)
+
+    # (iv) T_COUNT at the reduced granularity
+    count_table = CountTable.from_sorted_keys(sorted_keys, total_bits, granularity)
+
+    bdcc = BDCCTable(
+        table=table,
+        uses=uses,
+        total_bits=total_bits,
+        granularity=granularity,
+        row_source=order.astype(np.int64),
+        keys=sorted_keys,
+        count_table=count_table,
+        stats=stats,
+        densest_column=densest_col,
+        densest_bytes_per_tuple=densest_bytes,
+        logical_rows=n,
+    )
+
+    # (v) post-bulk-load consolidation of very small groups
+    if config.consolidate_max_fraction is not None and n > 0:
+        _consolidate_small_groups(
+            bdcc,
+            threshold_bytes=config.efficient_access_bytes,
+            max_fraction=config.consolidate_max_fraction,
+        )
+    return bdcc
+
+
+def _consolidate_small_groups(
+    bdcc: BDCCTable, threshold_bytes: float, max_fraction: float
+) -> None:
+    """Copy tuples of groups smaller than ``threshold_bytes`` (in the
+    densest column) to a contiguous region appended at the end; mark the
+    original count-table entries invalid.
+
+    Skipped when small groups hold more than ``max_fraction`` of the data
+    (Algorithm 1 only tolerates a low percentage there) or when fewer than
+    two groups qualify (nothing to co-locate)."""
+    ct = bdcc.count_table
+    group_bytes = ct.counts * bdcc.densest_bytes_per_tuple
+    small = ct.valid & (group_bytes < threshold_bytes)
+    small_rows = int(ct.counts[small].sum())
+    if np.count_nonzero(small) < 2 or small_rows == 0:
+        return
+    if small_rows > max_fraction * bdcc.logical_rows:
+        return
+
+    small_indices = np.flatnonzero(small)  # already in key order
+    pieces = [
+        np.arange(ct.offsets[i], ct.offsets[i] + ct.counts[i]) for i in small_indices
+    ]
+    moved = np.concatenate(pieces)
+    base = bdcc.stored_rows
+    bdcc.row_source = np.concatenate([bdcc.row_source, bdcc.row_source[moved]])
+    bdcc.keys = np.concatenate([bdcc.keys, bdcc.keys[moved]])
+
+    new_keys = ct.keys[small_indices]
+    new_counts = ct.counts[small_indices]
+    new_offsets = base + np.concatenate([[0], np.cumsum(new_counts[:-1])]).astype(np.int64)
+    ct.valid[small_indices] = False
+    bdcc.count_table = CountTable(
+        granularity=ct.granularity,
+        keys=np.concatenate([ct.keys, new_keys]),
+        counts=np.concatenate([ct.counts, new_counts]),
+        offsets=np.concatenate([ct.offsets, new_offsets]),
+        valid=np.concatenate([ct.valid, np.ones(len(new_keys), dtype=bool)]),
+    )

@@ -1,0 +1,101 @@
+"""The ``T_COUNT`` metadata table of a BDCC table.
+
+One entry per clustering-key *group* at the chosen count-table granularity
+``b``: the group's key prefix, its tuple count and its starting offset in
+the stored (key-sorted) table.  Entries can be marked invalid by the
+small-group consolidation step of Algorithm 1 — their rows were copied to
+a consolidated region appended at the end of the table and must not be
+read through the original entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["CountTable"]
+
+
+@dataclass
+class CountTable:
+    """Group metadata: parallel arrays over count-table entries."""
+
+    granularity: int
+    keys: np.ndarray      # uint64 group key prefixes (top `granularity` bits)
+    counts: np.ndarray    # int64 tuples per group
+    offsets: np.ndarray   # int64 starting row in the stored table
+    valid: np.ndarray     # bool, False for consolidated-away originals
+
+    def __post_init__(self) -> None:
+        n = len(self.keys)
+        if not (len(self.counts) == len(self.offsets) == len(self.valid) == n):
+            raise ValueError("count-table arrays must be parallel")
+        self.keys = np.asarray(self.keys, dtype=np.uint64)
+        self.counts = np.asarray(self.counts, dtype=np.int64)
+        self.offsets = np.asarray(self.offsets, dtype=np.int64)
+        self.valid = np.asarray(self.valid, dtype=bool)
+
+    @classmethod
+    def from_sorted_keys(cls, sorted_keys: np.ndarray, total_bits: int, granularity: int) -> "CountTable":
+        """Build from the full-granularity sorted key column, in a single
+        ordered aggregation (Algorithm 1(iv))."""
+        if granularity < 0 or granularity > total_bits:
+            raise ValueError(f"granularity {granularity} out of [0, {total_bits}]")
+        prefixes = sorted_keys >> np.uint64(total_bits - granularity)
+        if len(prefixes) == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return cls(granularity, empty.astype(np.uint64), empty, empty, empty.astype(bool))
+        change = np.empty(len(prefixes), dtype=bool)
+        change[0] = True
+        np.not_equal(prefixes[1:], prefixes[:-1], out=change[1:])
+        offsets = np.flatnonzero(change).astype(np.int64)
+        keys = prefixes[offsets]
+        counts = np.diff(np.append(offsets, len(prefixes))).astype(np.int64)
+        return cls(granularity, keys, counts, offsets, np.ones(len(keys), dtype=bool))
+
+    # ------------------------------------------------------------ queries
+    @property
+    def num_groups(self) -> int:
+        return int(np.count_nonzero(self.valid))
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.keys)
+
+    def total_rows(self) -> int:
+        """Rows reachable through valid entries (equals the logical row
+        count even after consolidation)."""
+        return int(self.counts[self.valid].sum())
+
+    def select_entries(self, entry_mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Indices of valid entries, optionally intersected with a mask."""
+        mask = self.valid if entry_mask is None else (self.valid & entry_mask)
+        return np.flatnonzero(mask)
+
+    def row_runs(self, entries: np.ndarray) -> List[Tuple[int, int]]:
+        """``(offset, length)`` runs for the given entries, with adjacent
+        runs merged — the scatter scan's access list, and the unit the IO
+        model charges seeks for."""
+        runs: List[Tuple[int, int]] = []
+        for idx in np.sort(entries):
+            start = int(self.offsets[idx])
+            length = int(self.counts[idx])
+            if runs and runs[-1][0] + runs[-1][1] == start:
+                prev_start, prev_len = runs[-1]
+                runs[-1] = (prev_start, prev_len + length)
+            else:
+                runs.append((start, length))
+        return runs
+
+    def rows_for_entries(self, entries: np.ndarray) -> np.ndarray:
+        """Concrete row indices (into the stored order) for the entries,
+        in key order."""
+        pieces = [
+            np.arange(self.offsets[idx], self.offsets[idx] + self.counts[idx])
+            for idx in np.sort(entries)
+        ]
+        if not pieces:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(pieces)

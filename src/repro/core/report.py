@@ -1,0 +1,78 @@
+"""Human-readable design reports: what the advisor decided and why.
+
+``design_report`` renders a :class:`SchemaDesign` (plus, optionally, the
+built tables) in the layout of the paper's Section IV tables — the
+dimension table and the per-table dimension-use table with interleave
+masks — followed by self-tuning details (count-table granularity, group
+counts, consolidation).  Used by the CLI (``--design``) and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .advisor import SchemaDesign
+from .bdcc_table import BDCCTable
+from .bits import mask_to_string
+
+__all__ = ["design_report"]
+
+
+def design_report(
+    design: SchemaDesign,
+    built: Optional[Dict[str, BDCCTable]] = None,
+) -> str:
+    lines = ["BDCC schema design (Algorithm 2)", ""]
+
+    lines.append("dimensions:")
+    lines.append(f"  {'name':<12}{'bits':>5}  host(key)")
+    for name, bits, table, key in sorted(design.describe_dimensions()):
+        lines.append(f"  {name:<12}{bits:>5}  {table}({key})")
+    lines.append("")
+
+    lines.append("dimension uses per table:")
+    for table, uses in design.table_uses.items():
+        if not uses:
+            continue
+        bdcc = (built or {}).get(table)
+        header = f"  {table}"
+        if bdcc is not None:
+            header += (
+                f"  [B={bdcc.total_bits} bits, count table b={bdcc.granularity}, "
+                f"{bdcc.count_table.num_groups} groups]"
+            )
+        lines.append(header)
+        total_bits = bdcc.total_bits if bdcc is not None else sum(
+            u.dimension.bits for u in uses
+        )
+        source = bdcc.uses if bdcc is not None else uses
+        for use in source:
+            mask = (
+                mask_to_string(use.mask, total_bits)
+                if use.mask
+                else "(assigned at build)"
+            )
+            lines.append(
+                f"     {use.dimension.name:<12} {use.path_string():<28} {mask}"
+            )
+    unclustered = [
+        t for t, uses in design.table_uses.items() if not uses
+    ]
+    if unclustered:
+        lines.append("")
+        lines.append(f"unclustered tables: {', '.join(sorted(unclustered))}")
+
+    if built:
+        lines.append("")
+        lines.append("self-tuning (Algorithm 1):")
+        for table, bdcc in built.items():
+            consolidated = int((~bdcc.count_table.valid).sum())
+            missing = bdcc.stats.missing_group_fraction(bdcc.granularity)
+            lines.append(
+                f"  {table:<10} densest column {bdcc.densest_column} "
+                f"({bdcc.densest_bytes_per_tuple:.0f} B/tuple); "
+                f"median group {bdcc.stats.median_group_size[bdcc.granularity]:.0f} "
+                f"tuples; missing groups {missing:.0%}; "
+                f"consolidated entries {consolidated}"
+            )
+    return "\n".join(lines)

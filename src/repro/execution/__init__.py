@@ -1,0 +1,64 @@
+"""Vectorised execution engine: relations, expressions, kernels, metrics."""
+
+from .aggregate import AggSpec, apply_aggregate, distinct_per_partition, group_rows
+from .cost import DEFAULT_COSTS, CostModel
+from .expressions import (
+    And,
+    Arith,
+    Between,
+    Case,
+    Cmp,
+    Col,
+    Const,
+    Expr,
+    InList,
+    Like,
+    Not,
+    Or,
+    Substring,
+    Year,
+    col,
+    days,
+    lit,
+    year,
+)
+from .join_utils import encode_join_keys, inner_join_pairs, left_join_pairs, semi_join_mask
+from .metrics import ExecutionMetrics, MemoryReservation, MemoryTracker
+from .relation import Relation, StreamUse, row_bytes_of
+
+__all__ = [
+    "AggSpec",
+    "apply_aggregate",
+    "distinct_per_partition",
+    "group_rows",
+    "DEFAULT_COSTS",
+    "CostModel",
+    "And",
+    "Arith",
+    "Between",
+    "Case",
+    "Cmp",
+    "Col",
+    "Const",
+    "Expr",
+    "InList",
+    "Like",
+    "Not",
+    "Or",
+    "Substring",
+    "Year",
+    "col",
+    "days",
+    "lit",
+    "year",
+    "encode_join_keys",
+    "inner_join_pairs",
+    "left_join_pairs",
+    "semi_join_mask",
+    "ExecutionMetrics",
+    "MemoryReservation",
+    "MemoryTracker",
+    "Relation",
+    "StreamUse",
+    "row_bytes_of",
+]

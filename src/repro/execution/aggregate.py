@@ -1,0 +1,125 @@
+"""Vectorised grouping and aggregation kernels.
+
+Like the join kernels these are strategy-agnostic: hash, streaming and
+sandwiched aggregation all produce identical results through these
+functions; the planner's choice changes only cost and memory accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["AggSpec", "group_rows", "apply_aggregate", "distinct_per_partition"]
+
+SUPPORTED_AGGS = ("sum", "count", "avg", "min", "max", "count_distinct")
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One output aggregate: ``name = fn(expr)``.
+
+    ``expr`` may be None for ``count(*)``.  ``valid`` masks (outer-join
+    nulls) are honoured: null inputs do not contribute.
+    """
+
+    name: str
+    fn: str
+    expr: object = None  # Expr | None
+
+    def __post_init__(self) -> None:
+        if self.fn not in SUPPORTED_AGGS:
+            raise ValueError(f"unsupported aggregate {self.fn!r}")
+
+
+def group_rows(key_columns: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Factorise rows by key tuple.
+
+    Returns ``(group_index_per_row, representative_row_per_group,
+    num_groups)``; group numbering follows key sort order.
+    """
+    if not key_columns:
+        n = len(key_columns)  # no keys: single group
+        raise ValueError("group_rows requires at least one key column")
+    codes = np.zeros(len(key_columns[0]), dtype=np.int64)
+    for column in key_columns:
+        uniques, inverse = np.unique(column, return_inverse=True)
+        codes = codes * np.int64(len(uniques)) + inverse.astype(np.int64)
+    uniques, first_rows, inverse = np.unique(codes, return_index=True, return_inverse=True)
+    return inverse.astype(np.int64), first_rows.astype(np.int64), len(uniques)
+
+
+def apply_aggregate(
+    spec: AggSpec,
+    group_index: np.ndarray,
+    num_groups: int,
+    values: Optional[np.ndarray],
+    valid: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Evaluate one aggregate over pre-factorised groups."""
+    if spec.fn == "count":
+        if values is None and valid is None:
+            return np.bincount(group_index, minlength=num_groups).astype(np.int64)
+        mask = valid if valid is not None else np.ones(len(group_index), dtype=bool)
+        return np.bincount(group_index[mask], minlength=num_groups).astype(np.int64)
+
+    if values is None:
+        raise ValueError(f"aggregate {spec.fn} requires an expression")
+    mask = valid
+    if mask is not None:
+        group_index = group_index[mask]
+        values = values[mask]
+
+    if spec.fn == "sum":
+        return np.bincount(group_index, weights=values.astype(np.float64), minlength=num_groups)
+    if spec.fn == "avg":
+        sums = np.bincount(group_index, weights=values.astype(np.float64), minlength=num_groups)
+        counts = np.bincount(group_index, minlength=num_groups)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return sums / counts
+    if spec.fn in ("min", "max"):
+        if values.dtype.kind == "U":
+            # string extrema via per-group sort (rare; small inputs)
+            order = np.lexsort((values, group_index))
+            gsorted = group_index[order]
+            boundaries = np.flatnonzero(np.diff(np.append(-1, gsorted)))
+            out = np.empty(num_groups, dtype=values.dtype)
+            if spec.fn == "min":
+                out[gsorted[boundaries]] = values[order][boundaries]
+            else:
+                last = np.append(boundaries[1:], len(gsorted)) - 1
+                out[gsorted[boundaries]] = values[order][last]
+            return out
+        init = np.inf if spec.fn == "min" else -np.inf
+        out = np.full(num_groups, init, dtype=np.float64)
+        ufunc = np.minimum if spec.fn == "min" else np.maximum
+        ufunc.at(out, group_index, values.astype(np.float64))
+        if values.dtype.kind in "iu":
+            finite = np.isfinite(out)
+            result = np.zeros(num_groups, dtype=np.int64)
+            result[finite] = out[finite].astype(np.int64)
+            return np.where(finite, result, 0) if not finite.all() else result
+        return out
+    if spec.fn == "count_distinct":
+        uniques, inverse = np.unique(values, return_inverse=True)
+        pair = group_index.astype(np.int64) * np.int64(len(uniques)) + inverse
+        distinct_pairs = np.unique(pair)
+        groups_of_pairs = (distinct_pairs // np.int64(len(uniques))).astype(np.int64)
+        return np.bincount(groups_of_pairs, minlength=num_groups).astype(np.int64)
+    raise AssertionError(spec.fn)
+
+
+def distinct_per_partition(partition_ids: np.ndarray, group_index: np.ndarray) -> np.ndarray:
+    """Number of distinct aggregation groups inside each partition —
+    the per-partition hash-table population a sandwiched aggregation
+    holds (its memory high-water mark is the max of these)."""
+    if len(partition_ids) == 0:
+        return np.zeros(0, dtype=np.int64)
+    num_groups = int(group_index.max()) + 1 if len(group_index) else 0
+    pair = partition_ids.astype(np.int64) * np.int64(max(num_groups, 1)) + group_index
+    distinct_pairs = np.unique(pair)
+    partitions_of_pairs = distinct_pairs // np.int64(max(num_groups, 1))
+    _, counts = np.unique(partitions_of_pairs, return_counts=True)
+    return counts.astype(np.int64)

@@ -1,0 +1,100 @@
+"""Vectorised multi-key join kernels (N:M, semi, anti, left outer).
+
+These kernels are *logical* workhorses shared by every join strategy the
+planner picks (hash, merge, sandwich): the strategies differ in cost and
+memory accounting, not in results.  All kernels preserve the probe
+(left) side's row order in their output, so sort-order properties survive
+probe-side joins.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "encode_join_keys",
+    "inner_join_pairs",
+    "left_join_pairs",
+    "semi_join_mask",
+]
+
+
+def _factorize_pair(left: np.ndarray, right: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Codes for two arrays over their union domain; equal values share a
+    code.  Returns (left_codes, right_codes, cardinality)."""
+    combined = np.concatenate([left, right])
+    uniques, inverse = np.unique(combined, return_inverse=True)
+    inverse = inverse.astype(np.int64)
+    return inverse[: len(left)], inverse[len(left):], len(uniques)
+
+
+def encode_join_keys(
+    left_cols: Sequence[np.ndarray], right_cols: Sequence[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Single int64 key per row for multi-column equi-joins."""
+    if len(left_cols) != len(right_cols) or not left_cols:
+        raise ValueError("need equally many (>=1) key columns on both sides")
+    if len(left_cols) == 1:
+        left, right = left_cols[0], right_cols[0]
+        if left.dtype.kind in "iu" and right.dtype.kind in "iu":
+            return left.astype(np.int64), right.astype(np.int64)
+        lcode, rcode, _ = _factorize_pair(left, right)
+        return lcode, rcode
+    lcodes = np.zeros(len(left_cols[0]), dtype=np.int64)
+    rcodes = np.zeros(len(right_cols[0]), dtype=np.int64)
+    for lcol, rcol in zip(left_cols, right_cols):
+        lc, rc, card = _factorize_pair(lcol, rcol)
+        lcodes = lcodes * card + lc
+        rcodes = rcodes * card + rc
+    return lcodes, rcodes
+
+
+def inner_join_pairs(
+    left_keys: np.ndarray, right_keys: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Matching (left_idx, right_idx) pairs, left-major order."""
+    order = np.argsort(right_keys, kind="stable")
+    sorted_right = right_keys[order]
+    lo = np.searchsorted(sorted_right, left_keys, side="left")
+    hi = np.searchsorted(sorted_right, left_keys, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    left_idx = np.repeat(np.arange(len(left_keys), dtype=np.int64), counts)
+    if total == 0:
+        return left_idx, np.zeros(0, dtype=np.int64)
+    starts = np.repeat(lo, counts)
+    ends = np.cumsum(counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+    right_idx = order[starts + within]
+    return left_idx, right_idx
+
+
+def left_join_pairs(
+    left_keys: np.ndarray, right_keys: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Left-outer pairs: every left row appears; unmatched rows carry
+    right index -1."""
+    order = np.argsort(right_keys, kind="stable")
+    sorted_right = right_keys[order]
+    lo = np.searchsorted(sorted_right, left_keys, side="left")
+    hi = np.searchsorted(sorted_right, left_keys, side="right")
+    counts = hi - lo
+    out_counts = np.maximum(counts, 1)
+    total = int(out_counts.sum())
+    left_idx = np.repeat(np.arange(len(left_keys), dtype=np.int64), out_counts)
+    starts = np.repeat(lo, out_counts)
+    ends = np.cumsum(out_counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(ends - out_counts, out_counts)
+    matched = np.repeat(counts > 0, out_counts)
+    right_idx = np.full(total, -1, dtype=np.int64)
+    take = starts[matched] + within[matched]
+    right_idx[matched] = order[take]
+    return left_idx, right_idx
+
+
+def semi_join_mask(left_keys: np.ndarray, right_keys: np.ndarray) -> np.ndarray:
+    """Boolean mask over left rows with at least one match (semi join);
+    invert for anti join."""
+    return np.isin(left_keys, right_keys)

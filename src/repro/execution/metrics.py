@@ -1,0 +1,107 @@
+"""Execution metrics: simulated IO/CPU time and peak memory accounting.
+
+The reproduction targets of Figures 2 and 3 are *simulated* quantities:
+
+* cold execution time = disk-model IO time + CPU-model operator time;
+* memory usage = peak of concurrently live operator allocations (hash
+  build sides, aggregation state, sort buffers) — what the paper's
+  "query memory" measures, and what sandwich operators shrink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["MemoryTracker", "MemoryReservation", "ExecutionMetrics"]
+
+
+class MemoryReservation:
+    """A live allocation; context-manager style release."""
+
+    def __init__(self, tracker: "MemoryTracker", tag: str, num_bytes: float):
+        self._tracker = tracker
+        self.tag = tag
+        self.num_bytes = float(num_bytes)
+        self._released = False
+
+    def grow(self, extra_bytes: float) -> None:
+        if self._released:
+            raise RuntimeError("reservation already released")
+        self._tracker._grow(extra_bytes)
+        self.num_bytes += extra_bytes
+
+    def release(self) -> None:
+        if not self._released:
+            self._tracker._release(self.num_bytes)
+            self._released = True
+
+    def __enter__(self) -> "MemoryReservation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class MemoryTracker:
+    """Tracks current and peak live bytes across operators."""
+
+    def __init__(self) -> None:
+        self.current_bytes = 0.0
+        self.peak_bytes = 0.0
+        self.allocations: List[Dict] = []
+
+    def allocate(self, tag: str, num_bytes: float) -> MemoryReservation:
+        reservation = MemoryReservation(self, tag, 0.0)
+        reservation.grow(float(num_bytes))
+        self.allocations.append({"tag": tag, "bytes": float(num_bytes)})
+        return reservation
+
+    def _grow(self, num_bytes: float) -> None:
+        self.current_bytes += num_bytes
+        if self.current_bytes > self.peak_bytes:
+            self.peak_bytes = self.current_bytes
+
+    def _release(self, num_bytes: float) -> None:
+        self.current_bytes -= num_bytes
+
+
+@dataclass
+class ExecutionMetrics:
+    """Accumulated cost of one query execution."""
+
+    io_bytes: float = 0.0
+    io_accesses: int = 0
+    io_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    rows_scanned: int = 0
+    rows_produced: int = 0
+    memory: MemoryTracker = field(default_factory=MemoryTracker)
+    #: free-form counters, e.g. per-operator attribution for explain.
+    counters: Dict[str, float] = field(default_factory=dict)
+    #: human-readable notes from the planner (strategy decisions).
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.io_seconds + self.cpu_seconds
+
+    @property
+    def peak_memory_bytes(self) -> float:
+        return self.memory.peak_bytes
+
+    def charge_io(self, num_bytes: float, num_accesses: int, seconds: float) -> None:
+        self.io_bytes += num_bytes
+        self.io_accesses += num_accesses
+        self.io_seconds += seconds
+
+    def charge_cpu(self, seconds: float, counter: str | None = None) -> None:
+        self.cpu_seconds += seconds
+        if counter:
+            self.counters[counter] = self.counters.get(counter, 0.0) + seconds
+
+    def note(self, message: str) -> None:
+        self.notes.append(message)
+
+    def bump(self, counter: str, amount: float = 1.0) -> None:
+        self.counters[counter] = self.counters.get(counter, 0.0) + amount

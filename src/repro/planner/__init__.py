@@ -1,0 +1,46 @@
+"""Logical plans, plan analysis, propagation rewrite and the executor."""
+
+from .analysis import FKEdge, PlanAnalysis, analyse_plan
+from .executor import ExecutionOptions, Executor, QueryResult
+from .explain import explain, format_plan
+from .logical import (
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    LimitNode,
+    Plan,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+    scan,
+    walk,
+)
+from .predicates import column_ranges, conjuncts
+from .propagation import ScanRestrictions, compute_restrictions
+
+__all__ = [
+    "FKEdge",
+    "PlanAnalysis",
+    "analyse_plan",
+    "ExecutionOptions",
+    "Executor",
+    "QueryResult",
+    "explain",
+    "format_plan",
+    "FilterNode",
+    "GroupByNode",
+    "JoinNode",
+    "LimitNode",
+    "Plan",
+    "PlanNode",
+    "ProjectNode",
+    "ScanNode",
+    "SortNode",
+    "scan",
+    "walk",
+    "column_ranges",
+    "conjuncts",
+    "ScanRestrictions",
+    "compute_restrictions",
+]

@@ -1,0 +1,96 @@
+"""EXPLAIN: render a logical plan and the strategies a scheme picks.
+
+``explain(executor, plan)`` executes the plan (execution is the cheapest
+way to get truthful strategy decisions in this engine — it is a
+simulator) and renders the plan tree together with the executor's
+decision notes, IO/CPU/memory totals and the active scan restrictions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .executor import Executor
+from .logical import (
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    LimitNode,
+    Plan,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+
+__all__ = ["format_plan", "explain"]
+
+
+def _describe(node: PlanNode) -> str:
+    if isinstance(node, ScanNode):
+        alias = "" if node.alias == node.table else f" as {node.alias}"
+        pred = " WHERE ..." if node.predicate is not None else ""
+        return f"Scan {node.table}{alias}{pred}"
+    if isinstance(node, FilterNode):
+        return "Filter"
+    if isinstance(node, ProjectNode):
+        return f"Project [{', '.join(name for name, _ in node.exprs)}]"
+    if isinstance(node, JoinNode):
+        on = ", ".join(f"{l}={r}" for l, r in zip(node.left_cols, node.right_cols))
+        extra = " + residual" if node.residual is not None else ""
+        return f"Join {node.how} ON {on}{extra}"
+    if isinstance(node, GroupByNode):
+        aggs = ", ".join(f"{s.name}={s.fn}" for s in node.aggs)
+        keys = ", ".join(node.keys) if node.keys else "<scalar>"
+        return f"GroupBy [{keys}] -> {aggs}"
+    if isinstance(node, SortNode):
+        keys = ", ".join(f"{c}{'' if asc else ' desc'}" for c, asc in node.keys)
+        return f"Sort [{keys}]"
+    if isinstance(node, LimitNode):
+        return f"Limit {node.count}"
+    return type(node).__name__
+
+
+def format_plan(plan) -> str:
+    """ASCII tree of a logical plan."""
+    node = plan.node if isinstance(plan, Plan) else plan
+    lines: List[str] = []
+
+    def render(current: PlanNode, depth: int) -> None:
+        lines.append("  " * depth + _describe(current))
+        for child in current.children():
+            render(child, depth + 1)
+
+    render(node, 0)
+    return "\n".join(lines)
+
+
+def explain(executor: Executor, plan) -> str:
+    """Plan tree + the scheme's actual strategy decisions and costs."""
+    result = executor.execute(plan)
+    metrics = result.metrics
+    parts = [
+        f"scheme: {executor.pdb.scheme_name}",
+        format_plan(plan),
+        "",
+        "decisions:",
+    ]
+    if metrics.notes:
+        parts.extend(f"  - {note}" for note in metrics.notes)
+    else:
+        parts.append("  - (none: plain scans and default strategies)")
+    parts.append("")
+    parts.append(
+        "cost: %.3f ms simulated (IO %.3f ms / %.2f MB in %d accesses, "
+        "CPU %.3f ms), peak memory %.3f MB, %d rows out"
+        % (
+            metrics.total_seconds * 1e3,
+            metrics.io_seconds * 1e3,
+            metrics.io_bytes / 1e6,
+            metrics.io_accesses,
+            metrics.cpu_seconds * 1e3,
+            metrics.peak_memory_bytes / 1e6,
+            metrics.rows_produced,
+        )
+    )
+    return "\n".join(parts)

@@ -1,0 +1,80 @@
+"""Predicate analysis: conjunct splitting and per-column range extraction.
+
+Used for MinMax (zone map) pruning: a scan predicate such as
+``l_shipdate >= d AND l_shipdate < d+1y`` yields a ``[lo, hi]`` interval
+per column; blocks whose min/max miss the interval are skipped.  Under
+BDCC the storage order makes correlated columns (shipdate under orderdate
+clustering) locally coherent, which is when these intervals start pruning
+— the paper's Q6/Q12/Q20 effect.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..execution.expressions import And, Between, Cmp, Col, Const, Expr
+
+__all__ = ["conjuncts", "column_ranges"]
+
+_OPEN = (None, None)
+
+
+def conjuncts(predicate: Optional[Expr]) -> List[Expr]:
+    """Flatten a tree of AND nodes into its conjuncts."""
+    if predicate is None:
+        return []
+    if isinstance(predicate, And):
+        return conjuncts(predicate.left) + conjuncts(predicate.right)
+    return [predicate]
+
+
+def _as_col_const(left: Expr, right: Expr) -> Optional[Tuple[str, object, bool]]:
+    """(column, constant, column_is_left) for a Col-vs-Const comparison."""
+    if isinstance(left, Col) and isinstance(right, Const):
+        return left.name, right.value, True
+    if isinstance(left, Const) and isinstance(right, Col):
+        return right.name, left.value, False
+    return None
+
+
+def _merge(ranges: Dict[str, Tuple], column: str, low, high) -> None:
+    cur_lo, cur_hi = ranges.get(column, _OPEN)
+    if low is not None and (cur_lo is None or low > cur_lo):
+        cur_lo = low
+    if high is not None and (cur_hi is None or high < cur_hi):
+        cur_hi = high
+    ranges[column] = (cur_lo, cur_hi)
+
+
+def column_ranges(predicate: Optional[Expr]) -> Dict[str, Tuple]:
+    """Per-column ``(low, high)`` intervals implied by the predicate's
+    conjuncts (None = open end).  Only Col-vs-Const comparisons and
+    BETWEENs contribute; anything else is ignored (it still runs as the
+    residual predicate — pruning must only ever be a superset)."""
+    ranges: Dict[str, Tuple] = {}
+    for conj in conjuncts(predicate):
+        if isinstance(conj, Between):
+            if (
+                isinstance(conj.operand, Col)
+                and isinstance(conj.low, Const)
+                and isinstance(conj.high, Const)
+            ):
+                _merge(ranges, conj.operand.name, conj.low.value, conj.high.value)
+            continue
+        if not isinstance(conj, Cmp):
+            continue
+        parsed = _as_col_const(conj.left, conj.right)
+        if parsed is None:
+            continue
+        column, value, col_left = parsed
+        op = conj.op
+        if not col_left:
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        if op == "==":
+            _merge(ranges, column, value, value)
+        elif op in ("<", "<="):
+            _merge(ranges, column, None, value)
+        elif op in (">", ">="):
+            _merge(ranges, column, value, None)
+        # strict bounds are kept closed: pruning stays a superset
+    return ranges

@@ -1,0 +1,148 @@
+"""Selection propagation between co-clustered tables.
+
+The heart of BDCC query processing (benefit (ii) of Section II): a
+selection on a dimension — or on a table joined to it, like a region
+filter above NATION — restricts the qualifying *bins* of that dimension,
+and every co-clustered table in the query can skip the non-qualifying
+groups of its count table.
+
+For each BDCC scan and each of its dimension uses we check that the
+use's foreign-key path is actually realised by the query's joins (with
+join kinds that filter the scanned side — see
+:meth:`FKEdge.filters_child`), evaluate the predicates sitting on the
+dimension's host table (recursively restricted through the host's own
+filtering parents, which is how ``r_name = 'ASIA'`` reaches D_NATION),
+and translate the surviving key values into a bin restriction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..storage.database import Database
+from .analysis import PlanAnalysis, strip_prefix
+
+__all__ = ["ScanRestrictions", "compute_restrictions"]
+
+#: per alias: list of (use_index, allowed_bins, bin_bits)
+ScanRestrictions = Dict[str, List[Tuple[int, np.ndarray, int]]]
+
+
+class _HostEvaluator:
+    """Evaluates, per alias, which base-table rows can qualify given the
+    alias's own scan predicate and its filtering parents.
+
+    With ``local_only`` the parent joins are ignored: only the scan's own
+    predicate restricts (the pushdown-without-propagation ablation).
+    """
+
+    def __init__(self, db: Database, analysis: PlanAnalysis, local_only: bool = False):
+        self._db = db
+        self._analysis = analysis
+        self._local_only = local_only
+        self._memo: Dict[str, Optional[np.ndarray]] = {}
+
+    def qualifying_mask(self, alias: str) -> Optional[np.ndarray]:
+        """Boolean mask over the base table's rows, or None = all rows."""
+        if alias in self._memo:
+            return self._memo[alias]
+        self._memo[alias] = None  # cycle guard (FK graphs are acyclic anyway)
+        scan = self._analysis.scans[alias]
+        data = self._db.table_data(scan.table)
+        mask: Optional[np.ndarray] = None
+        if scan.predicate is not None:
+            env = {scan.prefix + name: values for name, values in data.items()}
+            mask = np.asarray(scan.predicate.eval(env), dtype=bool)
+        if self._local_only:
+            self._memo[alias] = mask
+            return mask
+        for edge in self._analysis.usable_edges_from(alias):
+            parent_mask = self.qualifying_mask(edge.parent_alias)
+            if parent_mask is None:
+                continue
+            fk = self._db.schema.foreign_key(edge.fk_name)
+            parent_data = self._db.table_data(fk.parent_table)
+            surviving = _key_membership(
+                [data[c] for c in fk.child_columns],
+                [parent_data[c][parent_mask] for c in fk.parent_columns],
+            )
+            mask = surviving if mask is None else (mask & surviving)
+        self._memo[alias] = mask
+        return mask
+
+
+def _key_membership(child_cols: List[np.ndarray], parent_cols: List[np.ndarray]) -> np.ndarray:
+    """Mask over child rows whose key tuple appears among parent keys."""
+    if len(child_cols) == 1:
+        return np.isin(child_cols[0], parent_cols[0])
+    # per-column membership over-approximates tuple membership; pruning
+    # supersets are sound (the residual joins still apply)
+    mask = np.ones(len(child_cols[0]), dtype=bool)
+    for child, parent in zip(child_cols, parent_cols):
+        mask &= np.isin(child, parent)
+    return mask
+
+
+def compute_restrictions(
+    db: Database,
+    analysis: PlanAnalysis,
+    bdcc_tables: Dict[str, object],
+    alias_tables: Dict[str, str],
+    local_only: bool = False,
+) -> ScanRestrictions:
+    """Bin restrictions for every BDCC-clustered scan in the plan.
+
+    Args:
+        db: logical database (dimension hosts are evaluated against it).
+        analysis: join graph + aliases of the plan.
+        bdcc_tables: table name -> :class:`BDCCTable` of the active scheme.
+        alias_tables: alias -> base table name.
+        local_only: restrict only from each scan's own predicate on local
+            dimensions (disables propagation — ablation mode).
+    """
+    evaluator = _HostEvaluator(db, analysis, local_only=local_only)
+    restrictions: ScanRestrictions = {}
+    for alias, scan in analysis.scans.items():
+        bdcc = bdcc_tables.get(scan.table)
+        if bdcc is None:
+            continue
+        entries: List[Tuple[int, np.ndarray, int]] = []
+        for use_index, use in enumerate(bdcc.uses):
+            if local_only and use.path:
+                continue
+            host_alias = _walk_path(analysis, alias, use.path)
+            if host_alias is None:
+                continue
+            host_scan = analysis.scans[host_alias]
+            if host_scan.table != use.dimension.table:
+                continue  # path matched FKs but lands elsewhere (shouldn't happen)
+            mask = evaluator.qualifying_mask(host_alias)
+            if mask is None or bool(mask.all()):
+                continue
+            host_data = db.table_data(host_scan.table)
+            key_values = [host_data[a][mask] for a in use.dimension.key]
+            if len(key_values[0]) == 0:
+                bins = np.zeros(0, dtype=np.uint64)
+            else:
+                codes = use.dimension.encoder.encode(key_values)
+                bins = np.unique(use.dimension.bin_of_codes(codes))
+            if len(bins) >= use.dimension.num_bins:
+                continue  # no pruning power
+            entries.append((use_index, bins, use.dimension.bits))
+        if entries:
+            restrictions[alias] = entries
+    return restrictions
+
+
+def _walk_path(analysis: PlanAnalysis, alias: str, path: Tuple[str, ...]) -> Optional[str]:
+    """Follow a dimension path through the query's filtering FK edges;
+    returns the host alias, or None when the path is not realised."""
+    current = alias
+    for fk_name in path:
+        edge = analysis.edge_from(current, fk_name)
+        if edge is None or not edge.filters_child():
+            return None
+        current = edge.parent_alias
+    return current

@@ -1,0 +1,14 @@
+"""Physical schemes compared in the paper: Plain, PK, BDCC."""
+
+from .base import PhysicalDatabase, PhysicalScheme
+from .bdcc import BDCCScheme
+from .plain import PlainScheme
+from .primary_key import PrimaryKeyScheme
+
+__all__ = [
+    "PhysicalDatabase",
+    "PhysicalScheme",
+    "BDCCScheme",
+    "PlainScheme",
+    "PrimaryKeyScheme",
+]

@@ -1,0 +1,96 @@
+"""Physical schemes: how a logical database is laid out on disk.
+
+The paper's evaluation compares three configurations of the *same*
+system: Plain (load order, no indexing), PK (primary-key sorted — the
+classical merge-join-friendly layout) and BDCC (advisor-designed
+co-clustering).  A :class:`PhysicalScheme` materialises a
+:class:`PhysicalDatabase`; the executor consumes the latter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..catalog import Schema
+from ..core.bdcc_table import BDCCTable
+from ..storage.database import Database
+from ..storage.pages import PageModel
+from ..storage.stored_table import StoredTable
+
+__all__ = ["PhysicalDatabase", "PhysicalScheme"]
+
+
+@dataclass
+class PhysicalDatabase:
+    """A logical database materialised under one physical scheme.
+
+    ``replicas`` optionally holds additional physical copies of a table
+    clustered on different dimension subsets (the paper's future-work
+    direction (ii)); the executor picks, per scan, the copy whose groups
+    the query's restrictions prune hardest.
+    """
+
+    scheme_name: str
+    database: Database
+    stored: Dict[str, StoredTable]
+    replicas: Dict[str, list] = field(default_factory=dict)
+
+    @property
+    def schema(self) -> Schema:
+        return self.database.schema
+
+    def bdcc_tables(self) -> Dict[str, BDCCTable]:
+        return {
+            name: table.bdcc for name, table in self.stored.items() if table.bdcc is not None
+        }
+
+    def table(self, name: str) -> StoredTable:
+        return self.stored[name]
+
+
+class PhysicalScheme:
+    """Base class; subclasses order rows and attach metadata per table."""
+
+    name = "abstract"
+
+    def __init__(self, page_model: Optional[PageModel] = None):
+        self.page_model = page_model or PageModel()
+
+    def build(self, db: Database) -> PhysicalDatabase:
+        stored: Dict[str, StoredTable] = {}
+        for table_name in db.loaded_tables:
+            stored[table_name] = self.build_table(db, table_name)
+        return PhysicalDatabase(self.name, db, stored, self.build_replicas(db))
+
+    def build_replicas(self, db: Database) -> Dict[str, list]:
+        """Additional physical copies per table; none by default."""
+        return {}
+
+    def build_table(self, db: Database, table_name: str) -> StoredTable:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ helpers
+    def _materialise(
+        self,
+        db: Database,
+        table_name: str,
+        row_source: Optional[np.ndarray],
+        sort_columns=(),
+        bdcc=None,
+    ) -> StoredTable:
+        data = db.table_data(table_name)
+        if row_source is None:
+            columns = {name: values for name, values in data.items()}
+        else:
+            columns = {name: values[row_source] for name, values in data.items()}
+        return StoredTable(
+            name=table_name,
+            definition=db.schema.table(table_name),
+            columns=columns,
+            page_model=self.page_model,
+            sort_columns=tuple(sort_columns),
+            bdcc=bdcc,
+        )

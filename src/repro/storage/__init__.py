@@ -1,0 +1,17 @@
+"""Columnar storage substrate: data container, pages, zone maps, disk model."""
+
+from .database import Database, lookup_rows
+from .io_model import PAPER_SSD, DiskModel
+from .minmax import MinMaxIndex
+from .pages import PageModel
+from .stored_table import StoredTable
+
+__all__ = [
+    "Database",
+    "lookup_rows",
+    "PAPER_SSD",
+    "DiskModel",
+    "MinMaxIndex",
+    "PageModel",
+    "StoredTable",
+]

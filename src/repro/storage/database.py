@@ -1,0 +1,161 @@
+"""In-memory logical database: schema + column vectors per table.
+
+This is the *logical* content a physical scheme (plain / PK / BDCC)
+re-organises.  Columns are numpy arrays; rows across the arrays of one
+table are aligned.  Parent-key lookup indices support foreign-key
+traversal (dimension paths, referential-integrity checks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..catalog import Schema
+
+__all__ = ["Database", "lookup_rows"]
+
+
+def _pack_key(columns: Sequence[np.ndarray]) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Encode multi-column keys as int64 codes (order within each column
+    preserved; only equality semantics are needed here).
+
+    Returns the packed codes plus the per-column sorted-unique domains the
+    packing was computed against, so probe values can be packed the same
+    way via :func:`_pack_probe`.
+    """
+    domains = [np.unique(col) for col in columns]
+    codes = np.zeros(len(columns[0]), dtype=np.int64)
+    for col, domain in zip(columns, domains):
+        codes *= np.int64(len(domain) + 1)
+        codes += np.searchsorted(domain, col).astype(np.int64)
+    return codes, domains
+
+
+def _pack_probe(columns: Sequence[np.ndarray], domains: List[np.ndarray]) -> np.ndarray:
+    codes = np.zeros(len(columns[0]), dtype=np.int64)
+    valid = np.ones(len(columns[0]), dtype=bool)
+    for col, domain in zip(columns, domains):
+        ranks = np.searchsorted(domain, col)
+        np.minimum(ranks, len(domain) - 1, out=ranks)
+        valid &= domain[ranks] == col
+        codes *= np.int64(len(domain) + 1)
+        codes += ranks.astype(np.int64)
+    codes[~valid] = -1  # sentinel: cannot match any build key
+    return codes
+
+
+def lookup_rows(
+    key_columns: Sequence[np.ndarray], probe_columns: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Row index in the keyed table for each probe tuple, or -1.
+
+    ``key_columns`` must form a unique key (e.g. a primary key).
+    """
+    if len(key_columns) != len(probe_columns):
+        raise ValueError("key/probe column count mismatch")
+    if len(key_columns) == 1:
+        keys, probes = key_columns[0], probe_columns[0]
+    else:
+        keys, domains = _pack_key(key_columns)
+        probes = _pack_probe(probe_columns, domains)
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    pos = np.searchsorted(sorted_keys, probes)
+    np.minimum(pos, len(sorted_keys) - 1, out=pos)
+    found = sorted_keys[pos] == probes
+    result = np.where(found, order[pos], -1)
+    return result.astype(np.int64)
+
+
+class Database:
+    """Schema plus per-table column data.
+
+    ``scale_factor`` is optional metadata set by generators whose
+    workloads are parameterised by data volume (TPC-H Q11's threshold).
+    """
+
+    def __init__(self, schema: Schema, scale_factor: Optional[float] = None):
+        self.schema = schema
+        self.scale_factor = scale_factor
+        self._tables: Dict[str, Dict[str, np.ndarray]] = {}
+
+    # --------------------------------------------------------------- data
+    def add_table_data(self, table: str, columns: Dict[str, np.ndarray]) -> None:
+        definition = self.schema.table(table)
+        missing = set(definition.column_names) - set(columns)
+        if missing:
+            raise ValueError(f"table {table!r} missing columns: {sorted(missing)}")
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"table {table!r}: ragged column lengths {lengths}")
+        self._tables[table] = {
+            name: np.asarray(columns[name]) for name in definition.column_names
+        }
+
+    def table_data(self, table: str) -> Dict[str, np.ndarray]:
+        try:
+            return self._tables[table]
+        except KeyError:
+            raise KeyError(f"no data loaded for table {table!r}") from None
+
+    def column(self, table: str, column: str) -> np.ndarray:
+        return self.table_data(table)[column]
+
+    def num_rows(self, table: str) -> int:
+        data = self.table_data(table)
+        if not data:
+            return 0
+        return len(next(iter(data.values())))
+
+    @property
+    def loaded_tables(self) -> List[str]:
+        return list(self._tables)
+
+    # ------------------------------------------------------- FK traversal
+    def follow_foreign_key(
+        self, fk_name: str, child_rows: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Parent-row index for each child row (or the given subset).
+
+        Returns -1 for dangling references (none occur in generated data;
+        tests assert this).
+        """
+        fk = self.schema.foreign_key(fk_name)
+        child_data = self.table_data(fk.child_table)
+        parent_data = self.table_data(fk.parent_table)
+        probe_cols = [child_data[c] for c in fk.child_columns]
+        if child_rows is not None:
+            probe_cols = [col[child_rows] for col in probe_cols]
+        key_cols = [parent_data[c] for c in fk.parent_columns]
+        return lookup_rows(key_cols, probe_cols)
+
+    def resolve_path_values(
+        self, table: str, path: Sequence[str], attributes: Sequence[str]
+    ) -> List[np.ndarray]:
+        """Dimension-key attribute values for each row of ``table``,
+        resolved over the dimension path (Definition 2).
+
+        With an empty path the attributes are local to ``table``.
+        """
+        rows: Optional[np.ndarray] = None
+        current = table
+        for fk_name in path:
+            fk = self.schema.foreign_key(fk_name)
+            if fk.child_table != current:
+                raise ValueError(
+                    f"path step {fk_name!r} starts at {fk.child_table!r}, "
+                    f"expected {current!r}"
+                )
+            parent_rows = self.follow_foreign_key(fk_name, rows)
+            if np.any(parent_rows < 0):
+                raise ValueError(
+                    f"dangling foreign key {fk_name!r} while resolving path"
+                )
+            rows = parent_rows
+            current = fk.parent_table
+        data = self.table_data(current)
+        if rows is None:
+            return [data[a] for a in attributes]
+        return [data[a][rows] for a in attributes]

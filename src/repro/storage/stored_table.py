@@ -1,0 +1,93 @@
+"""A physically ordered table: the unit all three schemes store.
+
+A :class:`StoredTable` materialises one physical row order of a logical
+table (generation order for Plain, primary-key order for PK, ``_bdcc_``
+order for BDCC — possibly with a consolidated small-group region), builds
+MinMax indices lazily per column, and knows its page layout for IO
+accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..catalog import Table
+from ..core.bdcc_table import BDCCTable
+from .minmax import MinMaxIndex
+from .pages import PageModel
+
+__all__ = ["StoredTable"]
+
+
+@dataclass
+class StoredTable:
+    name: str
+    definition: Table
+    columns: Dict[str, np.ndarray]          # stored order
+    page_model: PageModel
+    #: physical sort columns (PK scheme); empty otherwise.
+    sort_columns: Tuple[str, ...] = ()
+    #: BDCC metadata when this table is co-clustered.
+    bdcc: Optional[BDCCTable] = None
+    _minmax: Dict[str, MinMaxIndex] = field(default_factory=dict, repr=False)
+
+    @property
+    def stored_rows(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def logical_rows(self) -> int:
+        if self.bdcc is not None:
+            return self.bdcc.logical_rows
+        return self.stored_rows
+
+    # ------------------------------------------------------------- layout
+    def stored_bytes_per_value(self, column: str) -> float:
+        return self.definition.column(column).datatype.stored_bytes
+
+    def column_bytes(self, column: str) -> float:
+        return self.page_model.column_bytes(
+            self.stored_rows, self.stored_bytes_per_value(column)
+        )
+
+    def column_pages(self, column: str) -> int:
+        return self.page_model.column_pages(
+            self.stored_rows, self.stored_bytes_per_value(column)
+        )
+
+    def total_bytes(self, columns: Optional[List[str]] = None) -> float:
+        names = columns if columns is not None else list(self.columns)
+        return float(sum(self.column_bytes(c) for c in names))
+
+    # ------------------------------------------------------------- minmax
+    def minmax_for(self, column: str) -> MinMaxIndex:
+        """Zone map with one block per page of that column (built lazily;
+        Vectorwise maintains these automatically on every table)."""
+        index = self._minmax.get(column)
+        if index is None:
+            block_rows = self.page_model.rows_per_page(self.stored_bytes_per_value(column))
+            index = MinMaxIndex.build(self.columns[column], block_rows)
+            self._minmax[column] = index
+        return index
+
+    # ----------------------------------------------------------------- IO
+    def io_run_bytes(
+        self, row_runs: List[Tuple[int, int]], columns: List[str]
+    ) -> List[float]:
+        """Byte sizes of the separate disk accesses needed to read the
+        given row runs of the given columns (column store: one run list
+        per column, page-granular)."""
+        sizes: List[float] = []
+        for column in columns:
+            width = self.stored_bytes_per_value(column)
+            for _, num_pages in self.page_model.pages_for_row_runs(row_runs, width):
+                sizes.append(num_pages * self.page_model.page_bytes)
+        return sizes
+
+    def full_scan_runs(self) -> List[Tuple[int, int]]:
+        return [(0, self.stored_rows)] if self.stored_rows else []

@@ -1,0 +1,170 @@
+"""Benchmark harness: run the 22-query suite under the three schemes and
+render the paper's Figure 2 / Figure 3 tables.
+
+Reported times and memory are the *simulated* quantities of the cost
+model (see DESIGN.md §4); the harness also prints an SF100-equivalent
+column (linear extrapolation) next to the paper's reported numbers so
+EXPERIMENTS.md can record paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.advisor import AdvisorConfig
+from ..planner.executor import ExecutionOptions
+from ..schemes.base import PhysicalDatabase
+from ..schemes.bdcc import BDCCScheme
+from ..schemes.plain import PlainScheme
+from ..schemes.primary_key import PrimaryKeyScheme
+from ..storage.database import Database
+from .environment import Environment, make_environment
+from .queries import QUERIES
+from .runner import run_query
+
+__all__ = ["QueryMeasurement", "SchemeResults", "SuiteResult", "build_schemes", "run_suite"]
+
+
+@dataclass
+class QueryMeasurement:
+    query: str
+    seconds: float
+    io_seconds: float
+    cpu_seconds: float
+    peak_memory_bytes: float
+    rows: int
+    notes: List[str] = field(default_factory=list)
+
+
+@dataclass
+class SchemeResults:
+    scheme: str
+    measurements: Dict[str, QueryMeasurement] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(m.seconds for m in self.measurements.values())
+
+    @property
+    def total_peak_memory(self) -> float:
+        return sum(m.peak_memory_bytes for m in self.measurements.values())
+
+    @property
+    def max_peak_memory(self) -> float:
+        return max((m.peak_memory_bytes for m in self.measurements.values()), default=0.0)
+
+    @property
+    def avg_peak_memory(self) -> float:
+        if not self.measurements:
+            return 0.0
+        return self.total_peak_memory / len(self.measurements)
+
+
+@dataclass
+class SuiteResult:
+    environment: Environment
+    schemes: Dict[str, SchemeResults]
+
+    def speedup(self, slow: str = "plain", fast: str = "bdcc") -> float:
+        denominator = self.schemes[fast].total_seconds
+        return self.schemes[slow].total_seconds / denominator if denominator else float("inf")
+
+    # ------------------------------------------------------------- tables
+    def fig2_table(self) -> str:
+        """Execution times per query (the paper's Figure 2)."""
+        return self._table("seconds", "simulated time", 1e3, "ms")
+
+    def fig3_table(self) -> str:
+        """Peak query memory per query (the paper's Figure 3)."""
+        return self._table("peak_memory_bytes", "peak memory", 1e-6, "MB")
+
+    def _table(self, attr: str, title: str, scale: float, unit: str) -> str:
+        names = list(self.schemes)
+        lines = [
+            f"{title} per TPC-H query, SF={self.environment.scale_factor} "
+            f"(page={self.environment.page_model.page_bytes}B)",
+            "query  " + "".join(f"{n:>12}" for n in names),
+        ]
+        queries = sorted(next(iter(self.schemes.values())).measurements)
+        for query in queries:
+            row = f"{query:<6}"
+            for name in names:
+                value = getattr(self.schemes[name].measurements[query], attr) * scale
+                row += f"{value:12.3f}"
+            lines.append(row)
+        totals = "total "
+        for name in names:
+            total = sum(
+                getattr(m, attr) for m in self.schemes[name].measurements.values()
+            )
+            totals += f"{total * scale:12.3f}"
+        lines.append(totals + f"  [{unit}]")
+        return "\n".join(lines)
+
+
+def build_schemes(
+    db: Database,
+    environment: Optional[Environment] = None,
+    include: Sequence[str] = ("plain", "pk", "bdcc"),
+    advisor_config: Optional[AdvisorConfig] = None,
+) -> Dict[str, PhysicalDatabase]:
+    """Materialise the requested physical schemes on the shared device."""
+    env = environment or make_environment(db.scale_factor or 0.01)
+    result: Dict[str, PhysicalDatabase] = {}
+    for name in include:
+        if name == "plain":
+            scheme = PlainScheme(page_model=env.page_model)
+        elif name == "pk":
+            scheme = PrimaryKeyScheme(page_model=env.page_model)
+        elif name == "bdcc":
+            scheme = BDCCScheme(
+                advisor_config=advisor_config or env.advisor_config(),
+                page_model=env.page_model,
+            )
+        else:
+            raise ValueError(f"unknown scheme {name!r}")
+        result[name] = scheme.build(db)
+    return result
+
+
+def run_suite(
+    physical_dbs: Dict[str, PhysicalDatabase],
+    environment: Environment,
+    queries: Optional[Dict[str, Callable]] = None,
+    options: Optional[ExecutionOptions] = None,
+    check_results_match: bool = False,
+) -> SuiteResult:
+    """Run the query set cold under every scheme."""
+    queries = queries or QUERIES
+    schemes = {name: SchemeResults(name) for name in physical_dbs}
+    reference_rows: Dict[str, list] = {}
+    for qname, fn in queries.items():
+        for sname, pdb in physical_dbs.items():
+            result, metrics = run_query(
+                pdb, fn,
+                disk=environment.disk,
+                options=options,
+                costs=environment.cost_model,
+            )
+            schemes[sname].measurements[qname] = QueryMeasurement(
+                query=qname,
+                seconds=metrics.total_seconds,
+                io_seconds=metrics.io_seconds,
+                cpu_seconds=metrics.cpu_seconds,
+                peak_memory_bytes=metrics.peak_memory_bytes,
+                rows=result.relation.num_rows,
+                notes=list(metrics.notes),
+            )
+            if check_results_match:
+                rows = sorted(
+                    tuple(round(v, 4) if isinstance(v, float) else v for v in row)
+                    for row in result.rows
+                )
+                if qname not in reference_rows:
+                    reference_rows[qname] = rows
+                elif reference_rows[qname] != rows:
+                    raise AssertionError(
+                        f"{qname}: scheme {sname} returned different results"
+                    )
+    return SuiteResult(environment=environment, schemes=schemes)

@@ -1,0 +1,39 @@
+"""All 22 TPC-H queries as logical-plan functions.
+
+Each query is a function ``qNN(runner) -> QueryResult`` using the
+validation parameter values; :data:`QUERIES` maps ``"Q01"``..".."Q22"`` to
+them in benchmark order.
+"""
+
+from .q01 import q01
+from .q02 import q02
+from .q03 import q03
+from .q04 import q04
+from .q05 import q05
+from .q06 import q06
+from .q07 import q07
+from .q08 import q08
+from .q09 import q09
+from .q10 import q10
+from .q11 import q11
+from .q12 import q12
+from .q13 import q13
+from .q14 import q14
+from .q15 import q15
+from .q16 import q16
+from .q17 import q17
+from .q18 import q18
+from .q19 import q19
+from .q20 import q20
+from .q21 import q21
+from .q22 import q22
+
+QUERIES = {
+    "Q01": q01, "Q02": q02, "Q03": q03, "Q04": q04, "Q05": q05,
+    "Q06": q06, "Q07": q07, "Q08": q08, "Q09": q09, "Q10": q10,
+    "Q11": q11, "Q12": q12, "Q13": q13, "Q14": q14, "Q15": q15,
+    "Q16": q16, "Q17": q17, "Q18": q18, "Q19": q19, "Q20": q20,
+    "Q21": q21, "Q22": q22,
+}
+
+__all__ = ["QUERIES"] + [name.lower() for name in sorted(QUERIES)]

@@ -1,0 +1,18 @@
+"""Shared expression helpers for the TPC-H query definitions.
+
+Every query uses the TPC-H validation parameters (the substitution values
+of the specification's qualification database), so results are
+deterministic and comparable across the three physical schemes.
+"""
+
+from __future__ import annotations
+
+from ...execution.expressions import Expr, col, days
+
+__all__ = ["REVENUE", "CHARGE", "col", "days"]
+
+#: l_extendedprice * (1 - l_discount)
+REVENUE: Expr = col("l_extendedprice") * (1 - col("l_discount"))
+
+#: l_extendedprice * (1 - l_discount) * (1 + l_tax)
+CHARGE: Expr = REVENUE * (1 + col("l_tax"))

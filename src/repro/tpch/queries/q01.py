@@ -1,0 +1,33 @@
+"""Q1 — Pricing Summary Report.
+
+A ~96% scan of LINEITEM with heavy aggregation; the paper's example of a
+query no indexing scheme can accelerate (Figure 2 discussion).
+"""
+
+from __future__ import annotations
+
+from ...execution.aggregate import AggSpec
+from ...planner.logical import scan
+from ..dates import days
+from .common import CHARGE, REVENUE, col
+
+
+def q01(runner):
+    plan = (
+        scan("lineitem", predicate=col("l_shipdate").le(days("1998-09-02")))
+        .groupby(
+            ["l_returnflag", "l_linestatus"],
+            [
+                AggSpec("sum_qty", "sum", col("l_quantity")),
+                AggSpec("sum_base_price", "sum", col("l_extendedprice")),
+                AggSpec("sum_disc_price", "sum", REVENUE),
+                AggSpec("sum_charge", "sum", CHARGE),
+                AggSpec("avg_qty", "avg", col("l_quantity")),
+                AggSpec("avg_price", "avg", col("l_extendedprice")),
+                AggSpec("avg_disc", "avg", col("l_discount")),
+                AggSpec("count_order", "count"),
+            ],
+        )
+        .sort([("l_returnflag", True), ("l_linestatus", True)])
+    )
+    return runner.execute(plan)

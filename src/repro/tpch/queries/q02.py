@@ -1,0 +1,59 @@
+"""Q2 — Minimum Cost Supplier.
+
+The correlated MIN subquery is decorrelated into a grouped minimum over
+the EUROPE supply chain, joined back to the main chain (the standard
+rewrite).  Two PARTSUPP instances appear, so the subquery side uses
+explicit aliases.
+"""
+
+from __future__ import annotations
+
+from ...execution.aggregate import AggSpec
+from ...planner.logical import scan
+from .common import col
+
+
+def q02(runner):
+    min_cost = (
+        scan("partsupp", alias="ps2")
+        .join(scan("supplier", alias="s2"), on=[("ps2.ps_suppkey", "s2.s_suppkey")])
+        .join(scan("nation", alias="n2"), on=[("s2.s_nationkey", "n2.n_nationkey")])
+        .join(
+            scan("region", alias="r2", predicate=col("r2.r_name").eq("EUROPE")),
+            on=[("n2.n_regionkey", "r2.r_regionkey")],
+        )
+        .groupby(
+            ["ps2.ps_partkey"],
+            [AggSpec("min_cost", "min", col("ps2.ps_supplycost"))],
+        )
+    )
+    plan = (
+        scan(
+            "part",
+            predicate=col("p_size").eq(15) & col("p_type").like("%BRASS"),
+        )
+        .join(scan("partsupp"), on=[("p_partkey", "ps_partkey")])
+        .join(scan("supplier"), on=[("ps_suppkey", "s_suppkey")])
+        .join(scan("nation"), on=[("s_nationkey", "n_nationkey")])
+        .join(
+            scan("region", predicate=col("r_name").eq("EUROPE")),
+            on=[("n_regionkey", "r_regionkey")],
+        )
+        .join(min_cost, on=[("ps_partkey", "ps2.ps_partkey")])
+        .filter(col("ps_supplycost").eq(col("min_cost")))
+        .project(
+            s_acctbal=col("s_acctbal"),
+            s_name=col("s_name"),
+            n_name=col("n_name"),
+            p_partkey=col("p_partkey"),
+            p_mfgr=col("p_mfgr"),
+            s_address=col("s_address"),
+            s_phone=col("s_phone"),
+            s_comment=col("s_comment"),
+        )
+        .sort(
+            [("s_acctbal", False), ("n_name", True), ("s_name", True), ("p_partkey", True)]
+        )
+        .limit(100)
+    )
+    return runner.execute(plan)

@@ -1,0 +1,30 @@
+"""Q3 — Shipping Priority (BUILDING segment, around 1995-03-15)."""
+
+from __future__ import annotations
+
+from ...execution.aggregate import AggSpec
+from ...planner.logical import scan
+from ..dates import days
+from .common import REVENUE, col
+
+
+def q03(runner):
+    cutoff = days("1995-03-15")
+    plan = (
+        scan("customer", predicate=col("c_mktsegment").eq("BUILDING"))
+        .join(
+            scan("orders", predicate=col("o_orderdate").lt(cutoff)),
+            on=[("c_custkey", "o_custkey")],
+        )
+        .join(
+            scan("lineitem", predicate=col("l_shipdate").gt(cutoff)),
+            on=[("o_orderkey", "l_orderkey")],
+        )
+        .groupby(
+            ["l_orderkey", "o_orderdate", "o_shippriority"],
+            [AggSpec("revenue", "sum", REVENUE)],
+        )
+        .sort([("revenue", False), ("o_orderdate", True)])
+        .limit(10)
+    )
+    return runner.execute(plan)

@@ -1,0 +1,29 @@
+"""Q4 — Order Priority Checking (EXISTS rewritten as a semi join)."""
+
+from __future__ import annotations
+
+from ...execution.aggregate import AggSpec
+from ...planner.logical import scan
+from ..dates import days
+from .common import col
+
+
+def q04(runner):
+    lo, hi = days("1993-07-01"), days("1993-10-01")
+    plan = (
+        scan(
+            "orders",
+            predicate=col("o_orderdate").ge(lo) & col("o_orderdate").lt(hi),
+        )
+        .join(
+            scan(
+                "lineitem",
+                predicate=col("l_commitdate").lt(col("l_receiptdate")),
+            ),
+            on=[("o_orderkey", "l_orderkey")],
+            how="semi",
+        )
+        .groupby(["o_orderpriority"], [AggSpec("order_count", "count")])
+        .sort([("o_orderpriority", True)])
+    )
+    return runner.execute(plan)

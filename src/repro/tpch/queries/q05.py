@@ -1,0 +1,38 @@
+"""Q5 — Local Supplier Volume (ASIA, 1994).
+
+The customer-nation = supplier-nation condition is a residual on the
+LINEITEM-SUPPLIER join; the region selection propagates to every
+co-clustered table under BDCC (the paper's flagship propagation case).
+"""
+
+from __future__ import annotations
+
+from ...execution.aggregate import AggSpec
+from ...planner.logical import scan
+from ..dates import days
+from .common import REVENUE, col
+
+
+def q05(runner):
+    lo, hi = days("1994-01-01"), days("1995-01-01")
+    plan = (
+        scan("customer")
+        .join(
+            scan("orders", predicate=col("o_orderdate").ge(lo) & col("o_orderdate").lt(hi)),
+            on=[("c_custkey", "o_custkey")],
+        )
+        .join(scan("lineitem"), on=[("o_orderkey", "l_orderkey")])
+        .join(
+            scan("supplier"),
+            on=[("l_suppkey", "s_suppkey")],
+            residual=col("c_nationkey").eq(col("s_nationkey")),
+        )
+        .join(scan("nation"), on=[("s_nationkey", "n_nationkey")])
+        .join(
+            scan("region", predicate=col("r_name").eq("ASIA")),
+            on=[("n_regionkey", "r_regionkey")],
+        )
+        .groupby(["n_name"], [AggSpec("revenue", "sum", REVENUE)])
+        .sort([("revenue", False)])
+    )
+    return runner.execute(plan)

@@ -1,0 +1,29 @@
+"""Q6 — Forecasting Revenue Change.
+
+Pure selection + scalar aggregate on LINEITEM; under BDCC the shipdate
+range prunes through MinMax indices thanks to orderdate clustering
+(the correlated-pushdown effect of the paper's detailed analysis).
+"""
+
+from __future__ import annotations
+
+from ...execution.aggregate import AggSpec
+from ...planner.logical import scan
+from ..dates import days
+from .common import col
+
+
+def q06(runner):
+    lo, hi = days("1994-01-01"), days("1995-01-01")
+    plan = scan(
+        "lineitem",
+        predicate=(
+            col("l_shipdate").ge(lo)
+            & col("l_shipdate").lt(hi)
+            & col("l_discount").between(0.05, 0.07)
+            & col("l_quantity").lt(24)
+        ),
+    ).groupby(
+        [], [AggSpec("revenue", "sum", col("l_extendedprice") * col("l_discount"))]
+    )
+    return runner.execute(plan)

@@ -1,0 +1,56 @@
+"""Q7 — Volume Shipping (FRANCE <-> GERMANY).
+
+The nation-pair disjunction stays as a post-join filter; the implied
+IN-lists are additionally pushed onto the two NATION scans (a standard
+implied-predicate rewrite) so BDCC propagation can prune nation groups.
+"""
+
+from __future__ import annotations
+
+from ...execution.aggregate import AggSpec
+from ...execution.expressions import year
+from ...planner.logical import scan
+from ..dates import days
+from .common import REVENUE, col
+
+
+def q07(runner):
+    pair = ["FRANCE", "GERMANY"]
+    plan = (
+        scan("supplier")
+        .join(
+            scan(
+                "lineitem",
+                predicate=col("l_shipdate").between(
+                    days("1995-01-01"), days("1996-12-31")
+                ),
+            ),
+            on=[("s_suppkey", "l_suppkey")],
+        )
+        .join(scan("orders"), on=[("l_orderkey", "o_orderkey")])
+        .join(scan("customer"), on=[("o_custkey", "c_custkey")])
+        .join(
+            scan("nation", alias="n1", predicate=col("n1.n_name").isin(pair)),
+            on=[("s_nationkey", "n1.n_nationkey")],
+        )
+        .join(
+            scan("nation", alias="n2", predicate=col("n2.n_name").isin(pair)),
+            on=[("c_nationkey", "n2.n_nationkey")],
+        )
+        .filter(
+            (col("n1.n_name").eq("FRANCE") & col("n2.n_name").eq("GERMANY"))
+            | (col("n1.n_name").eq("GERMANY") & col("n2.n_name").eq("FRANCE"))
+        )
+        .project(
+            supp_nation=col("n1.n_name"),
+            cust_nation=col("n2.n_name"),
+            l_year=year("l_shipdate"),
+            volume=REVENUE,
+        )
+        .groupby(
+            ["supp_nation", "cust_nation", "l_year"],
+            [AggSpec("revenue", "sum", col("volume"))],
+        )
+        .sort([("supp_nation", True), ("cust_nation", True), ("l_year", True)])
+    )
+    return runner.execute(plan)

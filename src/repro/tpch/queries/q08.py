@@ -1,0 +1,55 @@
+"""Q8 — National Market Share (BRAZIL in AMERICA, ECONOMY ANODIZED STEEL)."""
+
+from __future__ import annotations
+
+from ...execution.aggregate import AggSpec
+from ...execution.expressions import Case, year
+from ...planner.logical import scan
+from ..dates import days
+from .common import REVENUE, col
+
+
+def q08(runner):
+    plan = (
+        scan("part", predicate=col("p_type").eq("ECONOMY ANODIZED STEEL"))
+        .join(scan("lineitem"), on=[("p_partkey", "l_partkey")])
+        .join(scan("supplier"), on=[("l_suppkey", "s_suppkey")])
+        .join(
+            scan(
+                "orders",
+                predicate=col("o_orderdate").between(
+                    days("1995-01-01"), days("1996-12-31")
+                ),
+            ),
+            on=[("l_orderkey", "o_orderkey")],
+        )
+        .join(scan("customer"), on=[("o_custkey", "c_custkey")])
+        .join(scan("nation", alias="n1"), on=[("c_nationkey", "n1.n_nationkey")])
+        .join(
+            scan("region", predicate=col("r_name").eq("AMERICA")),
+            on=[("n1.n_regionkey", "r_regionkey")],
+        )
+        .join(scan("nation", alias="n2"), on=[("s_nationkey", "n2.n_nationkey")])
+        .project(
+            o_year=year("o_orderdate"),
+            volume=REVENUE,
+            nation=col("n2.n_name"),
+        )
+        .groupby(
+            ["o_year"],
+            [
+                AggSpec(
+                    "brazil_volume",
+                    "sum",
+                    Case([(col("nation").eq("BRAZIL"), col("volume"))], 0.0),
+                ),
+                AggSpec("total_volume", "sum", col("volume")),
+            ],
+        )
+        .project(
+            o_year=col("o_year"),
+            mkt_share=col("brazil_volume") / col("total_volume"),
+        )
+        .sort([("o_year", True)])
+    )
+    return runner.execute(plan)

@@ -1,0 +1,36 @@
+"""Q9 — Product Type Profit Measure ('%green%' parts).
+
+Exercises the composite LINEITEM->PARTSUPP foreign key (both part and
+supplier keys) plus four more joins; the paper attributes its BDCC win
+purely to sandwiched execution.
+"""
+
+from __future__ import annotations
+
+from ...execution.aggregate import AggSpec
+from ...execution.expressions import year
+from ...planner.logical import scan
+from .common import REVENUE, col
+
+
+def q09(runner):
+    amount = REVENUE - col("ps_supplycost") * col("l_quantity")
+    plan = (
+        scan("part", predicate=col("p_name").like("%green%"))
+        .join(scan("lineitem"), on=[("p_partkey", "l_partkey")])
+        .join(scan("supplier"), on=[("l_suppkey", "s_suppkey")])
+        .join(
+            scan("partsupp"),
+            on=[("l_partkey", "ps_partkey"), ("l_suppkey", "ps_suppkey")],
+        )
+        .join(scan("orders"), on=[("l_orderkey", "o_orderkey")])
+        .join(scan("nation"), on=[("s_nationkey", "n_nationkey")])
+        .project(
+            nation=col("n_name"),
+            o_year=year("o_orderdate"),
+            amount=amount,
+        )
+        .groupby(["nation", "o_year"], [AggSpec("sum_profit", "sum", col("amount"))])
+        .sort([("nation", True), ("o_year", False)])
+    )
+    return runner.execute(plan)

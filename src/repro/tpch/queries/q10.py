@@ -1,0 +1,39 @@
+"""Q10 — Returned Item Reporting (Q4/1993 returns)."""
+
+from __future__ import annotations
+
+from ...execution.aggregate import AggSpec
+from ...planner.logical import scan
+from ..dates import days
+from .common import REVENUE, col
+
+
+def q10(runner):
+    lo, hi = days("1993-10-01"), days("1994-01-01")
+    plan = (
+        scan("customer")
+        .join(
+            scan("orders", predicate=col("o_orderdate").ge(lo) & col("o_orderdate").lt(hi)),
+            on=[("c_custkey", "o_custkey")],
+        )
+        .join(
+            scan("lineitem", predicate=col("l_returnflag").eq("R")),
+            on=[("o_orderkey", "l_orderkey")],
+        )
+        .join(scan("nation"), on=[("c_nationkey", "n_nationkey")])
+        .groupby(
+            [
+                "c_custkey",
+                "c_name",
+                "c_acctbal",
+                "c_phone",
+                "n_name",
+                "c_address",
+                "c_comment",
+            ],
+            [AggSpec("revenue", "sum", REVENUE)],
+        )
+        .sort([("revenue", False), ("c_custkey", True)])
+        .limit(20)
+    )
+    return runner.execute(plan)

@@ -1,0 +1,42 @@
+"""Q11 — Important Stock Identification (GERMANY).
+
+Two stages: the scalar threshold (FRACTION of the total German stock
+value, with FRACTION = 0.0001 / SF per the specification) and the main
+grouped HAVING query.
+"""
+
+from __future__ import annotations
+
+from ...execution.aggregate import AggSpec
+from ...planner.logical import scan
+from .common import col
+
+_VALUE = col("ps_supplycost") * col("ps_availqty")
+
+
+def _german_partsupp():
+    return (
+        scan("partsupp")
+        .join(scan("supplier"), on=[("ps_suppkey", "s_suppkey")])
+        .join(
+            scan("nation", predicate=col("n_name").eq("GERMANY")),
+            on=[("s_nationkey", "n_nationkey")],
+        )
+    )
+
+
+def q11(runner):
+    total = runner.execute(
+        _german_partsupp().groupby([], [AggSpec("total", "sum", _VALUE)])
+    )
+    total_value = float(total.relation.column("total")[0]) if total.relation.num_rows else 0.0
+    fraction = 0.0001 / runner.scale_factor
+    threshold = total_value * fraction
+
+    plan = (
+        _german_partsupp()
+        .groupby(["ps_partkey"], [AggSpec("value", "sum", _VALUE)])
+        .filter(col("value").gt(threshold))
+        .sort([("value", False), ("ps_partkey", True)])
+    )
+    return runner.execute(plan)

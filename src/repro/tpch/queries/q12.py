@@ -1,0 +1,43 @@
+"""Q12 — Shipping Modes and Order Priority (MAIL/SHIP, 1994).
+
+Another correlated-MinMax case in the paper: the receiptdate range prunes
+LINEITEM pages because receipt dates follow order dates.
+"""
+
+from __future__ import annotations
+
+from ...execution.aggregate import AggSpec
+from ...execution.expressions import Case
+from ...planner.logical import scan
+from ..dates import days
+from .common import col
+
+
+def q12(runner):
+    lo, hi = days("1994-01-01"), days("1995-01-01")
+    high_priority = col("o_orderpriority").isin(["1-URGENT", "2-HIGH"])
+    plan = (
+        scan("orders")
+        .join(
+            scan(
+                "lineitem",
+                predicate=(
+                    col("l_shipmode").isin(["MAIL", "SHIP"])
+                    & col("l_commitdate").lt(col("l_receiptdate"))
+                    & col("l_shipdate").lt(col("l_commitdate"))
+                    & col("l_receiptdate").ge(lo)
+                    & col("l_receiptdate").lt(hi)
+                ),
+            ),
+            on=[("o_orderkey", "l_orderkey")],
+        )
+        .groupby(
+            ["l_shipmode"],
+            [
+                AggSpec("high_line_count", "sum", Case([(high_priority, 1)], 0)),
+                AggSpec("low_line_count", "sum", Case([(high_priority, 0)], 1)),
+            ],
+        )
+        .sort([("l_shipmode", True)])
+    )
+    return runner.execute(plan)

@@ -1,0 +1,34 @@
+"""Q13 — Customer Distribution.
+
+Customer LEFT JOIN orders, counting per-customer orders (nulls count 0),
+then a distribution over the counts.  The paper highlights this query:
+the CUSTOMER-ORDERS join sandwiches on the shared D_NATION dimension even
+though NATION itself never appears — the join key implies the nation.
+"""
+
+from __future__ import annotations
+
+from ...execution.aggregate import AggSpec
+from ...planner.logical import scan
+from .common import col
+
+
+def q13(runner):
+    plan = (
+        scan("customer")
+        .join(
+            scan(
+                "orders",
+                predicate=col("o_comment").not_like("%special%requests%"),
+            ),
+            on=[("c_custkey", "o_custkey")],
+            how="left",
+        )
+        .groupby(
+            ["c_custkey"],
+            [AggSpec("c_count", "count", col("o_orderkey"))],
+        )
+        .groupby(["c_count"], [AggSpec("custdist", "count")])
+        .sort([("custdist", False), ("c_count", False)])
+    )
+    return runner.execute(plan)

@@ -1,0 +1,33 @@
+"""Q14 — Promotion Effect (September 1995)."""
+
+from __future__ import annotations
+
+from ...execution.aggregate import AggSpec
+from ...execution.expressions import Case
+from ...planner.logical import scan
+from ..dates import days
+from .common import REVENUE, col
+
+
+def q14(runner):
+    lo, hi = days("1995-09-01"), days("1995-10-01")
+    plan = (
+        scan(
+            "lineitem",
+            predicate=col("l_shipdate").ge(lo) & col("l_shipdate").lt(hi),
+        )
+        .join(scan("part"), on=[("l_partkey", "p_partkey")])
+        .project(
+            promo=Case([(col("p_type").like("PROMO%"), REVENUE)], 0.0),
+            total=REVENUE,
+        )
+        .groupby(
+            [],
+            [
+                AggSpec("promo_sum", "sum", col("promo")),
+                AggSpec("total_sum", "sum", col("total")),
+            ],
+        )
+        .project(promo_revenue=100.0 * col("promo_sum") / col("total_sum"))
+    )
+    return runner.execute(plan)

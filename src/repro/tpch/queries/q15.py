@@ -1,0 +1,51 @@
+"""Q15 — Top Supplier (Q1/1996 revenue view).
+
+Stage 1 materialises the revenue view; the max and the final single-row
+(or few-row) assembly with SUPPLIER run as a second stage with an IN-list
+on the winning supplier keys — the standard view + scalar rewrite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...execution.aggregate import AggSpec
+from ...execution.relation import Relation
+from ...planner.executor import QueryResult
+from ...planner.logical import scan
+from ..dates import days
+from .common import REVENUE, col
+
+
+def q15(runner):
+    lo, hi = days("1996-01-01"), days("1996-04-01")
+    revenue_view = runner.execute(
+        scan(
+            "lineitem",
+            predicate=col("l_shipdate").ge(lo) & col("l_shipdate").lt(hi),
+        ).groupby(["l_suppkey"], [AggSpec("total_revenue", "sum", REVENUE)])
+    )
+    totals = revenue_view.relation.column("total_revenue")
+    if len(totals) == 0:
+        return revenue_view
+    max_revenue = totals.max()
+    winners = revenue_view.relation.column("l_suppkey")[totals == max_revenue]
+
+    suppliers = runner.execute(
+        scan("supplier", predicate=col("s_suppkey").isin(winners.tolist()))
+        .project(
+            s_suppkey=col("s_suppkey"),
+            s_name=col("s_name"),
+            s_address=col("s_address"),
+            s_phone=col("s_phone"),
+        )
+        .sort([("s_suppkey", True)])
+    )
+    rel = suppliers.relation
+    out = Relation(
+        columns={
+            **{name: rel.column(name) for name in rel.column_names},
+            "total_revenue": np.full(rel.num_rows, max_revenue),
+        }
+    )
+    return QueryResult(out, suppliers.metrics)

@@ -1,0 +1,52 @@
+"""Q16 — Parts/Supplier Relationship.
+
+NOT IN complaining suppliers -> anti join; COUNT(DISTINCT ps_suppkey)
+grouped by brand/type/size.  The paper notes BDCC *loses* slightly here:
+the sandwiched distinct-count shrinks its hash table ~25x but pays the
+extra ``_bdcc_`` processing and replaces the PK scheme's PART-PARTSUPP
+merge join.
+"""
+
+from __future__ import annotations
+
+from ...execution.aggregate import AggSpec
+from ...planner.logical import scan
+from .common import col
+
+
+def q16(runner):
+    plan = (
+        scan("partsupp")
+        .join(
+            scan(
+                "part",
+                predicate=(
+                    col("p_brand").ne("Brand#45")
+                    & col("p_type").not_like("MEDIUM POLISHED%")
+                    & col("p_size").isin([49, 14, 23, 45, 19, 3, 36, 9])
+                ),
+            ),
+            on=[("ps_partkey", "p_partkey")],
+        )
+        .join(
+            scan(
+                "supplier",
+                predicate=col("s_comment").like("%Customer%Complaints%"),
+            ),
+            on=[("ps_suppkey", "s_suppkey")],
+            how="anti",
+        )
+        .groupby(
+            ["p_brand", "p_type", "p_size"],
+            [AggSpec("supplier_cnt", "count_distinct", col("ps_suppkey"))],
+        )
+        .sort(
+            [
+                ("supplier_cnt", False),
+                ("p_brand", True),
+                ("p_type", True),
+                ("p_size", True),
+            ]
+        )
+    )
+    return runner.execute(plan)

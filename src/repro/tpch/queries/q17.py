@@ -1,0 +1,31 @@
+"""Q17 — Small-Quantity-Order Revenue (Brand#23 / MED BOX).
+
+The correlated AVG subquery decorrelates into a per-part average over a
+second LINEITEM instance, joined back on the part key.
+"""
+
+from __future__ import annotations
+
+from ...execution.aggregate import AggSpec
+from ...planner.logical import scan
+from .common import col
+
+
+def q17(runner):
+    per_part_avg = (
+        scan("lineitem", alias="l2")
+        .groupby(["l2.l_partkey"], [AggSpec("avg_qty", "avg", col("l2.l_quantity"))])
+    )
+    plan = (
+        scan(
+            "part",
+            predicate=col("p_brand").eq("Brand#23")
+            & col("p_container").eq("MED BOX"),
+        )
+        .join(scan("lineitem"), on=[("p_partkey", "l_partkey")])
+        .join(per_part_avg, on=[("l_partkey", "l2.l_partkey")])
+        .filter(col("l_quantity").lt(0.2 * col("avg_qty")))
+        .groupby([], [AggSpec("total_price", "sum", col("l_extendedprice"))])
+        .project(avg_yearly=col("total_price") / 7.0)
+    )
+    return runner.execute(plan)

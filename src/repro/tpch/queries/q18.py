@@ -1,0 +1,34 @@
+"""Q18 — Large Volume Customer (orders over 300 units).
+
+The IN subquery becomes a semi join against a grouped HAVING subplan.
+The paper's analysis: the full LINEITEM aggregation on ``l_orderkey``
+sandwiches under BDCC (helping vs. plain) but cannot beat the PK scheme's
+streaming aggregate over key-ordered LINEITEM.
+"""
+
+from __future__ import annotations
+
+from ...execution.aggregate import AggSpec
+from ...planner.logical import scan
+from .common import col
+
+
+def q18(runner):
+    big_orders = (
+        scan("lineitem", alias="l3")
+        .groupby(["l3.l_orderkey"], [AggSpec("sum_qty", "sum", col("l3.l_quantity"))])
+        .filter(col("sum_qty").gt(300))
+    )
+    plan = (
+        scan("customer")
+        .join(scan("orders"), on=[("c_custkey", "o_custkey")])
+        .join(big_orders, on=[("o_orderkey", "l3.l_orderkey")], how="semi")
+        .join(scan("lineitem"), on=[("o_orderkey", "l_orderkey")])
+        .groupby(
+            ["c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice"],
+            [AggSpec("sum_quantity", "sum", col("l_quantity"))],
+        )
+        .sort([("o_totalprice", False), ("o_orderdate", True)])
+        .limit(100)
+    )
+    return runner.execute(plan)

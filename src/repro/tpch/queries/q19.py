@@ -1,0 +1,41 @@
+"""Q19 — Discounted Revenue (three brand/container/quantity branches).
+
+The disjunction over brand, container, quantity and size stays as a
+post-join filter; the conjuncts common to all branches (shipmode,
+shipinstruct) are pushed onto the LINEITEM scan.
+"""
+
+from __future__ import annotations
+
+from ...execution.aggregate import AggSpec
+from ...planner.logical import scan
+from .common import REVENUE, col
+
+
+def _branch(brand, containers, qty_lo, qty_hi, size_hi):
+    return (
+        col("p_brand").eq(brand)
+        & col("p_container").isin(containers)
+        & col("l_quantity").ge(qty_lo)
+        & col("l_quantity").le(qty_hi)
+        & col("p_size").between(1, size_hi)
+    )
+
+
+def q19(runner):
+    disjunction = (
+        _branch("Brand#12", ["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1, 11, 5)
+        | _branch("Brand#23", ["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10, 20, 10)
+        | _branch("Brand#34", ["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20, 30, 15)
+    )
+    plan = (
+        scan(
+            "lineitem",
+            predicate=col("l_shipmode").isin(["AIR", "AIR REG"])
+            & col("l_shipinstruct").eq("DELIVER IN PERSON"),
+        )
+        .join(scan("part"), on=[("l_partkey", "p_partkey")])
+        .filter(disjunction)
+        .groupby([], [AggSpec("revenue", "sum", REVENUE)])
+    )
+    return runner.execute(plan)

@@ -1,0 +1,48 @@
+"""Q20 — Potential Part Promotion (forest% parts, CANADA, 1994).
+
+Nested EXISTS/IN chain decorrelated: per-(part, supplier) 1994 shipped
+quantity is aggregated from LINEITEM, joined to the forest% PARTSUPP
+rows, and the qualifying suppliers semi-join SUPPLIER x CANADA.
+"""
+
+from __future__ import annotations
+
+from ...execution.aggregate import AggSpec
+from ...planner.logical import scan
+from ..dates import days
+from .common import col
+
+
+def q20(runner):
+    lo, hi = days("1994-01-01"), days("1995-01-01")
+    shipped = (
+        scan(
+            "lineitem",
+            predicate=col("l_shipdate").ge(lo) & col("l_shipdate").lt(hi),
+        )
+        .groupby(
+            ["l_partkey", "l_suppkey"],
+            [AggSpec("sum_qty", "sum", col("l_quantity"))],
+        )
+    )
+    qualifying = (
+        scan("partsupp")
+        .join(
+            scan("part", predicate=col("p_name").like("forest%")),
+            on=[("ps_partkey", "p_partkey")],
+            how="semi",
+        )
+        .join(shipped, on=[("ps_partkey", "l_partkey"), ("ps_suppkey", "l_suppkey")])
+        .filter(col("ps_availqty").gt(0.5 * col("sum_qty")))
+    )
+    plan = (
+        scan("supplier")
+        .join(
+            scan("nation", predicate=col("n_name").eq("CANADA")),
+            on=[("s_nationkey", "n_nationkey")],
+        )
+        .join(qualifying, on=[("s_suppkey", "ps_suppkey")], how="semi")
+        .project(s_name=col("s_name"), s_address=col("s_address"))
+        .sort([("s_name", True)])
+    )
+    return runner.execute(plan)

@@ -1,0 +1,55 @@
+"""Q21 — Suppliers Who Kept Orders Waiting (SAUDI ARABIA).
+
+Three LINEITEM instances: the late line l1, an EXISTS semi join against
+another supplier's line l2, and a NOT EXISTS anti join against another
+supplier's *late* line l3 — both with non-equi residuals on the supplier
+key.
+"""
+
+from __future__ import annotations
+
+from ...execution.aggregate import AggSpec
+from ...planner.logical import scan
+from .common import col
+
+
+def q21(runner):
+    plan = (
+        scan("supplier")
+        .join(
+            scan(
+                "lineitem",
+                alias="l1",
+                predicate=col("l1.l_receiptdate").gt(col("l1.l_commitdate")),
+            ),
+            on=[("s_suppkey", "l1.l_suppkey")],
+        )
+        .join(
+            scan("orders", predicate=col("o_orderstatus").eq("F")),
+            on=[("l1.l_orderkey", "o_orderkey")],
+        )
+        .join(
+            scan("nation", predicate=col("n_name").eq("SAUDI ARABIA")),
+            on=[("s_nationkey", "n_nationkey")],
+        )
+        .join(
+            scan("lineitem", alias="l2"),
+            on=[("l1.l_orderkey", "l2.l_orderkey")],
+            how="semi",
+            residual=col("l2.l_suppkey").ne(col("l1.l_suppkey")),
+        )
+        .join(
+            scan(
+                "lineitem",
+                alias="l3",
+                predicate=col("l3.l_receiptdate").gt(col("l3.l_commitdate")),
+            ),
+            on=[("l1.l_orderkey", "l3.l_orderkey")],
+            how="anti",
+            residual=col("l3.l_suppkey").ne(col("l1.l_suppkey")),
+        )
+        .groupby(["s_name"], [AggSpec("numwait", "count")])
+        .sort([("numwait", False), ("s_name", True)])
+        .limit(100)
+    )
+    return runner.execute(plan)

@@ -1,0 +1,44 @@
+"""Q22 — Global Sales Opportunity.
+
+Stage 1 computes the average positive balance of the seven country
+codes; stage 2 anti-joins customers above that balance against ORDERS and
+groups by the phone-prefix country code.
+"""
+
+from __future__ import annotations
+
+from ...execution.aggregate import AggSpec
+from ...execution.expressions import Substring
+from ...planner.logical import scan
+from .common import col
+
+_CODES = ["13", "31", "23", "29", "30", "18", "17"]
+_CNTRY = Substring(col("c_phone"), 1, 2)
+
+
+def q22(runner):
+    averages = runner.execute(
+        scan(
+            "customer",
+            predicate=_CNTRY.isin(_CODES) & col("c_acctbal").gt(0.0),
+        ).groupby([], [AggSpec("avg_bal", "avg", col("c_acctbal"))])
+    )
+    avg_bal = float(averages.relation.column("avg_bal")[0]) if averages.relation.num_rows else 0.0
+
+    plan = (
+        scan(
+            "customer",
+            predicate=_CNTRY.isin(_CODES) & col("c_acctbal").gt(avg_bal),
+        )
+        .join(scan("orders"), on=[("c_custkey", "o_custkey")], how="anti")
+        .project(cntrycode=_CNTRY, c_acctbal=col("c_acctbal"))
+        .groupby(
+            ["cntrycode"],
+            [
+                AggSpec("numcust", "count"),
+                AggSpec("totacctbal", "sum", col("c_acctbal")),
+            ],
+        )
+        .sort([("cntrycode", True)])
+    )
+    return runner.execute(plan)

@@ -1,0 +1,71 @@
+"""Query runner: multi-stage execution with merged metrics.
+
+Several TPC-H queries decorrelate into a scalar pre-query plus a main
+plan (Q11's threshold, Q15's max revenue, Q22's average balance).  The
+runner executes each stage through one :class:`Executor` and merges the
+stage metrics: times and IO add up, peak memory is the maximum across
+stages (stages run one after another).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..execution.metrics import ExecutionMetrics
+from ..planner.executor import ExecutionOptions, Executor, QueryResult
+from ..schemes.base import PhysicalDatabase
+from ..storage.database import Database
+from ..storage.io_model import DiskModel
+
+__all__ = ["QueryRunner", "run_query"]
+
+
+class QueryRunner:
+    """Executes plan stages and accumulates one query's total cost."""
+
+    def __init__(self, executor: Executor):
+        self.executor = executor
+        self.metrics = ExecutionMetrics()
+
+    @property
+    def database(self) -> Database:
+        return self.executor.pdb.database
+
+    @property
+    def scale_factor(self) -> float:
+        sf = self.database.scale_factor
+        return 1.0 if sf is None else sf
+
+    def execute(self, plan) -> QueryResult:
+        result = self.executor.execute(plan)
+        self._merge(result.metrics)
+        return result
+
+    def _merge(self, stage: ExecutionMetrics) -> None:
+        merged = self.metrics
+        merged.io_bytes += stage.io_bytes
+        merged.io_accesses += stage.io_accesses
+        merged.io_seconds += stage.io_seconds
+        merged.cpu_seconds += stage.cpu_seconds
+        merged.rows_scanned += stage.rows_scanned
+        merged.rows_produced = stage.rows_produced
+        if stage.peak_memory_bytes > merged.memory.peak_bytes:
+            merged.memory.peak_bytes = stage.peak_memory_bytes
+        for key, value in stage.counters.items():
+            merged.counters[key] = merged.counters.get(key, 0.0) + value
+        merged.notes.extend(stage.notes)
+
+
+def run_query(
+    physical_db: PhysicalDatabase,
+    query: Callable[[QueryRunner], QueryResult],
+    disk: Optional[DiskModel] = None,
+    options: Optional[ExecutionOptions] = None,
+    costs=None,
+) -> tuple:
+    """Run one query function; returns (QueryResult, merged metrics)."""
+    executor = Executor(physical_db, disk=disk, costs=costs, options=options)
+    runner = QueryRunner(executor)
+    result = query(runner)
+    return result, runner.metrics

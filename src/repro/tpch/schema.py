@@ -1,0 +1,143 @@
+"""TPC-H schema DDL: tables, primary keys, foreign keys and the paper's
+``CREATE INDEX`` hints.
+
+Foreign-key identifiers follow the paper's ``FK_X_Y`` convention
+(Section IV): ``FK_L_O`` is LINEITEM→ORDERS etc.  The hints reproduce the
+paper's setup: three dimension hints (order date, part key, the compound
+region/nation key) plus index hints on the foreign-key references used to
+derive co-clustering — ``o_custkey``, ``s_nationkey``, ``c_nationkey``,
+``l_orderkey``, ``l_suppkey``, ``l_partkey``, ``ps_partkey``,
+``ps_suppkey``.  Hint declaration order on LINEITEM is (orderkey,
+suppkey, partkey), matching the published dimension-use masks.
+"""
+
+from __future__ import annotations
+
+from ..catalog import DATE, DECIMAL, INT32, INT64, Schema, string_type
+
+__all__ = ["build_schema", "add_paper_hints"]
+
+
+def build_schema() -> Schema:
+    """All eight TPC-H tables with keys and the paper's foreign keys."""
+    schema = Schema()
+
+    schema.add_table("region", [
+        ("r_regionkey", INT32),
+        ("r_name", string_type(25, 12)),
+        ("r_comment", string_type(116, 66)),
+    ], primary_key=["r_regionkey"])
+
+    schema.add_table("nation", [
+        ("n_nationkey", INT32),
+        ("n_name", string_type(25, 12)),
+        ("n_regionkey", INT32),
+        ("n_comment", string_type(116, 74)),
+    ], primary_key=["n_nationkey"])
+
+    schema.add_table("supplier", [
+        ("s_suppkey", INT32),
+        ("s_name", string_type(25, 18)),
+        ("s_address", string_type(40, 25)),
+        ("s_nationkey", INT32),
+        ("s_phone", string_type(15, 15)),
+        ("s_acctbal", DECIMAL),
+        ("s_comment", string_type(101, 63)),
+    ], primary_key=["s_suppkey"])
+
+    schema.add_table("customer", [
+        ("c_custkey", INT32),
+        ("c_name", string_type(25, 18)),
+        ("c_address", string_type(40, 25)),
+        ("c_nationkey", INT32),
+        ("c_phone", string_type(15, 15)),
+        ("c_acctbal", DECIMAL),
+        ("c_mktsegment", string_type(10, 10)),
+        ("c_comment", string_type(117, 73)),
+    ], primary_key=["c_custkey"])
+
+    schema.add_table("part", [
+        ("p_partkey", INT32),
+        ("p_name", string_type(55, 33)),
+        ("p_mfgr", string_type(25, 14)),
+        ("p_brand", string_type(10, 8)),
+        ("p_type", string_type(25, 21)),
+        ("p_size", INT32),
+        ("p_container", string_type(10, 8)),
+        ("p_retailprice", DECIMAL),
+        ("p_comment", string_type(23, 14)),
+    ], primary_key=["p_partkey"])
+
+    schema.add_table("partsupp", [
+        ("ps_partkey", INT32),
+        ("ps_suppkey", INT32),
+        ("ps_availqty", INT32),
+        ("ps_supplycost", DECIMAL),
+        ("ps_comment", string_type(199, 124)),
+    ], primary_key=["ps_partkey", "ps_suppkey"])
+
+    schema.add_table("orders", [
+        ("o_orderkey", INT64),
+        ("o_custkey", INT32),
+        ("o_orderstatus", string_type(1, 1)),
+        ("o_totalprice", DECIMAL),
+        ("o_orderdate", DATE),
+        ("o_orderpriority", string_type(15, 15)),
+        ("o_clerk", string_type(15, 15)),
+        ("o_shippriority", INT32),
+        ("o_comment", string_type(79, 49)),
+    ], primary_key=["o_orderkey"])
+
+    schema.add_table("lineitem", [
+        ("l_orderkey", INT64),
+        ("l_partkey", INT32),
+        ("l_suppkey", INT32),
+        ("l_linenumber", INT32),
+        ("l_quantity", DECIMAL),
+        ("l_extendedprice", DECIMAL),
+        ("l_discount", DECIMAL),
+        ("l_tax", DECIMAL),
+        ("l_returnflag", string_type(1, 1)),
+        ("l_linestatus", string_type(1, 1)),
+        ("l_shipdate", DATE),
+        ("l_commitdate", DATE),
+        ("l_receiptdate", DATE),
+        ("l_shipinstruct", string_type(25, 12)),
+        ("l_shipmode", string_type(10, 4)),
+        ("l_comment", string_type(44, 27)),
+    ], primary_key=["l_orderkey", "l_linenumber"])
+
+    # foreign keys, paper naming
+    schema.add_foreign_key("FK_N_R", "nation", ["n_regionkey"], "region")
+    schema.add_foreign_key("FK_S_N", "supplier", ["s_nationkey"], "nation")
+    schema.add_foreign_key("FK_C_N", "customer", ["c_nationkey"], "nation")
+    schema.add_foreign_key("FK_PS_P", "partsupp", ["ps_partkey"], "part")
+    schema.add_foreign_key("FK_PS_S", "partsupp", ["ps_suppkey"], "supplier")
+    schema.add_foreign_key("FK_O_C", "orders", ["o_custkey"], "customer")
+    schema.add_foreign_key("FK_L_O", "lineitem", ["l_orderkey"], "orders")
+    schema.add_foreign_key("FK_L_P", "lineitem", ["l_partkey"], "part")
+    schema.add_foreign_key("FK_L_S", "lineitem", ["l_suppkey"], "supplier")
+    schema.add_foreign_key(
+        "FK_L_PS", "lineitem", ["l_partkey", "l_suppkey"], "partsupp"
+    )
+    return schema
+
+
+def add_paper_hints(schema: Schema) -> None:
+    """The paper's exact DDL input to Algorithm 2 (Section IV)."""
+    # dimension hints (key and date columns only, per the paper)
+    schema.add_index_hint("date_idx", "orders", ["o_orderdate"], dimension_name="D_DATE")
+    schema.add_index_hint("part_idx", "part", ["p_partkey"], dimension_name="D_PART")
+    schema.add_index_hint(
+        "nation_idx", "nation", ["n_regionkey", "n_nationkey"], dimension_name="D_NATION"
+    )
+    # foreign-key hints deriving the co-clustering
+    schema.add_index_hint("s_nation_fk_idx", "supplier", ["s_nationkey"])
+    schema.add_index_hint("c_nation_fk_idx", "customer", ["c_nationkey"])
+    schema.add_index_hint("o_cust_fk_idx", "orders", ["o_custkey"])
+    schema.add_index_hint("ps_part_fk_idx", "partsupp", ["ps_partkey"])
+    schema.add_index_hint("ps_supp_fk_idx", "partsupp", ["ps_suppkey"])
+    # LINEITEM order (orderkey, suppkey, partkey) matches the published masks
+    schema.add_index_hint("l_order_fk_idx", "lineitem", ["l_orderkey"])
+    schema.add_index_hint("l_supp_fk_idx", "lineitem", ["l_suppkey"])
+    schema.add_index_hint("l_part_fk_idx", "lineitem", ["l_partkey"])

@@ -1,0 +1,79 @@
+"""TPC-H value domains (dbgen vocabularies, TPC-H specification v2).
+
+Only the domains queried by the 22 benchmark queries need full fidelity
+(types, brands, containers, segments, modes, priorities, nation/region
+names, the color words of P_NAME, and comment vocabulary containing the
+words Q9/Q13/Q16/Q20 grep for).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = [
+    "REGIONS", "NATIONS", "SEGMENTS", "PRIORITIES", "INSTRUCTIONS",
+    "MODES", "CONTAINERS", "TYPES", "COLORS", "COMMENT_WORDS",
+]
+
+REGIONS: List[str] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+#: (name, regionkey) in nationkey order 0..24 — the official dbgen list.
+NATIONS: List[Tuple[str, int]] = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+
+INSTRUCTIONS = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+
+MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+
+_CONTAINER_SIZES = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+_CONTAINER_KINDS = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+CONTAINERS = [f"{s} {k}" for s in _CONTAINER_SIZES for k in _CONTAINER_KINDS]
+
+_TYPE_SYLL1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+_TYPE_SYLL2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+_TYPE_SYLL3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+TYPES = [f"{a} {b} {c}" for a in _TYPE_SYLL1 for b in _TYPE_SYLL2 for c in _TYPE_SYLL3]
+
+#: dbgen's 92 color words (P_NAME concatenates five of these).
+COLORS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon",
+    "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+    "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+    "orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+    "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring",
+    "steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat", "white",
+    "yellow",
+]
+
+#: vocabulary for generated comments; includes the words the benchmark
+#: queries pattern-match on ("special ... requests" for Q13, "Customer
+#: ... Complaints" for Q16) at dbgen-like frequencies via datagen logic.
+COMMENT_WORDS = [
+    "furiously", "carefully", "quickly", "blithely", "slyly", "ironic",
+    "final", "bold", "regular", "express", "even", "silent", "pending",
+    "unusual", "idle", "deposits", "accounts", "packages", "theodolites",
+    "instructions", "dependencies", "foxes", "ideas", "pinto", "beans",
+    "platelets", "requests", "special", "excuses", "asymptotes", "courts",
+    "dolphins", "multipliers", "sauternes", "warhorses", "frets", "dinos",
+    "attainments", "somas", "Tiresias", "nag", "sleep", "wake", "haggle",
+    "cajole", "integrate", "use", "boost", "breach", "dazzle", "grow",
+    "above", "according", "across", "against", "along", "beneath", "beside",
+    "between", "toward", "under", "upon",
+]

@@ -1,0 +1,45 @@
+"""Shared fixtures: one small TPC-H database and the three physical
+schemes, built once per test session."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import tpch
+from repro.tpch.environment import make_environment
+from repro.tpch.harness import build_schemes
+
+TEST_SF = float(os.environ.get("REPRO_TEST_SF", "0.005"))
+TEST_SEED = 1234
+
+
+@pytest.fixture(scope="session")
+def tpch_db():
+    return tpch.generate(scale_factor=TEST_SF, seed=TEST_SEED)
+
+
+@pytest.fixture(scope="session")
+def environment():
+    return make_environment(TEST_SF)
+
+
+@pytest.fixture(scope="session")
+def physical_dbs(tpch_db, environment):
+    return build_schemes(tpch_db, environment)
+
+
+@pytest.fixture(scope="session")
+def plain_db(physical_dbs):
+    return physical_dbs["plain"]
+
+
+@pytest.fixture(scope="session")
+def pk_db(physical_dbs):
+    return physical_dbs["pk"]
+
+
+@pytest.fixture(scope="session")
+def bdcc_db(physical_dbs):
+    return physical_dbs["bdcc"]

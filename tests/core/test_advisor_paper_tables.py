@@ -1,0 +1,128 @@
+"""Exact reproduction of the paper's Section IV schema tables.
+
+The dimension table (names, hosts, keys, bits) and the dimension-use
+table (paths and interleave masks) are checked bit for bit.  Dimension
+granularities use the paper's SF100 cardinalities fed through the
+advisor's formula (our generated data is smaller, so distinct counts are
+injected rather than generated).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bits import mask_to_string, truncate_mask
+from repro.core.interleave import assign_masks
+from repro.tpch.datagen import generate
+from repro.core.advisor import SchemaAdvisor
+
+
+PAPER_USES = {
+    "nation": [("D_NATION", "-", "11111")],
+    "supplier": [("D_NATION", "FK_S_N", "11111")],
+    "customer": [("D_NATION", "FK_C_N", "11111")],
+    "part": [("D_PART", "-", "1111111111111")],
+    "partsupp": [
+        ("D_PART", "FK_PS_P", "101010101011111111"),
+        ("D_NATION", "FK_PS_S.FK_S_N", "10101010100000000"),
+    ],
+    "orders": [
+        ("D_DATE", "-", "101010101011111111"),
+        ("D_NATION", "FK_O_C.FK_C_N", "10101010100000000"),
+    ],
+}
+
+#: the LINEITEM table is printed at its 20-bit count-table granularity
+PAPER_LINEITEM = [
+    ("D_DATE", "FK_L_O", "10001000100010001000"),
+    ("D_NATION", "FK_L_O.FK_O_C.FK_C_N", "1000100010001000100"),
+    ("D_NATION", "FK_L_S.FK_S_N", "100010001000100010"),
+    ("D_PART", "FK_L_P", "10001000100010001"),
+]
+
+#: bits(D) at SF100 (the paper's dimension table)
+PAPER_BITS = {"D_NATION": 5, "D_PART": 13, "D_DATE": 13}
+
+
+@pytest.fixture(scope="module")
+def design():
+    db = generate(scale_factor=0.002, seed=11)
+    return SchemaAdvisor(db.schema).design(db)
+
+
+def _mask_strings(table_uses, bits_per_use):
+    masks = assign_masks(bits_per_use)
+    total = sum(bits_per_use)
+    return [mask_to_string(m, total).lstrip("0") or "0" for m in masks]
+
+
+class TestDimensionTable:
+    def test_dimension_identities(self, design):
+        rows = {name: (dim.table, dim.key) for name, dim in design.dimensions.items()}
+        assert rows == {
+            "D_NATION": ("nation", ("n_regionkey", "n_nationkey")),
+            "D_PART": ("part", ("p_partkey",)),
+            "D_DATE": ("orders", ("o_orderdate",)),
+        }
+
+    def test_nation_bits_match_paper_at_any_scale(self, design):
+        # 25 nations at every scale factor -> 5 bits, as in the paper
+        assert design.dimensions["D_NATION"].bits == PAPER_BITS["D_NATION"]
+
+    def test_part_bits_cap_at_paper_scale(self):
+        # at SF100 p_partkey has 20M distinct values; the 13-bit cap binds
+        from repro.core.binning import equi_frequency_cuts
+
+        codes = np.arange(200_000, dtype=np.int64)  # stand-in distinct keys
+        uppers = equi_frequency_cuts(codes, max_bits=13)
+        assert len(uppers) == 2**13
+
+
+class TestDimensionUseTable:
+    @pytest.mark.parametrize("table", sorted(PAPER_USES))
+    def test_paths_and_masks(self, design, table):
+        uses = design.uses_for(table)
+        expected = PAPER_USES[table]
+        assert [(u.dimension.name, u.path_string()) for u in uses] == [
+            (d, p) for d, p, _ in expected
+        ]
+        # masks computed with the paper's SF100 dimension granularities
+        bits = [PAPER_BITS[d] for d, _, _ in expected]
+        assert _mask_strings(uses, bits) == [m for _, _, m in expected]
+
+    def test_lineitem_masks_at_20_bits(self, design):
+        uses = design.uses_for("lineitem")
+        assert [(u.dimension.name, u.path_string()) for u in uses] == [
+            (d, p) for d, p, _ in PAPER_LINEITEM
+        ]
+        bits = [PAPER_BITS[d] for d, _, _ in PAPER_LINEITEM]
+        masks = assign_masks(bits)
+        total = sum(bits)
+        assert total == 36
+        reduced = [
+            mask_to_string(truncate_mask(m, total, 20), 20).lstrip("0")
+            for m in masks
+        ]
+        assert reduced == [m for _, _, m in PAPER_LINEITEM]
+
+
+class TestLineitemGranularityRule:
+    def test_paper_20_bit_selection(self):
+        """Algorithm 1(iii) at the paper's numbers: l_comment spans
+        550,000 32 KB pages, so b = ceil(log2(550000)) = 20."""
+        from repro.core.histograms import GranularityStats, choose_granularity
+
+        pages = 550_000
+        page_bytes = 32 * 1024
+        total_bytes = pages * page_bytes
+        bytes_per_tuple = total_bytes / 6_000_000_000  # ~3 B/tuple stored
+        total_bits = 36
+        # uniform key space: median group size halves per bit
+        medians = [6_000_000_000 / 2**g for g in range(total_bits + 1)]
+        stats = GranularityStats(
+            total_bits=total_bits,
+            num_groups=[min(2**g, 6_000_000_000) for g in range(total_bits + 1)],
+            median_group_size=medians,
+            log_histograms=[np.zeros(1)] * (total_bits + 1),
+        )
+        chosen = choose_granularity(stats, bytes_per_tuple, page_bytes)
+        assert chosen == 20

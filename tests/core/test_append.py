@@ -1,0 +1,112 @@
+"""Incremental append (update-maintenance extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.append import append_rows
+from repro.core.bdcc_table import BDCCBuildConfig, build_bdcc_table
+from repro.core.bits import gather_use_bits
+
+from .test_bdcc_table import _mini_db, _uses
+
+
+def _split_db(n_total=384, n_new=84, seed=4):
+    """A db with all rows, plus a clone holding only the first part."""
+    full = _mini_db(n_fact=n_total, seed=seed)
+    base = _mini_db(n_fact=n_total, seed=seed)
+    trimmed = {
+        name: values[: n_total - n_new]
+        for name, values in base.table_data("fact").items()
+    }
+    base.add_table_data("fact", trimmed)
+    return full, base, n_new
+
+
+CONFIG = BDCCBuildConfig(efficient_access_bytes=256.0, consolidate_max_fraction=None)
+
+
+class TestAppend:
+    def test_append_equals_full_rebuild(self):
+        full, base, n_new = _split_db()
+        uses = _uses(full)
+        initial = build_bdcc_table(base, "fact", uses, CONFIG)
+        appended = append_rows(
+            initial, full,
+            {name: values[-n_new:] for name, values in full.table_data("fact").items()},
+        )
+        rebuilt = build_bdcc_table(full, "fact", uses, CONFIG)
+        assert np.array_equal(appended.keys, rebuilt.keys)
+        assert appended.granularity == initial.granularity
+        assert appended.count_table.total_rows() == full.num_rows("fact")
+        # same multiset of rows per group
+        assert np.array_equal(
+            np.sort(appended.row_source), np.arange(full.num_rows("fact"))
+        )
+
+    def test_group_identities_stable(self):
+        full, base, n_new = _split_db()
+        uses = _uses(full)
+        initial = build_bdcc_table(base, "fact", uses, CONFIG)
+        appended = append_rows(
+            initial, full,
+            {name: values[-n_new:] for name, values in full.table_data("fact").items()},
+        )
+        # every old group key still exists with count >= old count
+        old = dict(zip(initial.count_table.keys.tolist(), initial.count_table.counts.tolist()))
+        new = dict(zip(appended.count_table.keys.tolist(), appended.count_table.counts.tolist()))
+        for key, count in old.items():
+            assert new.get(key, 0) >= count
+
+    def test_dimension_bins_still_consistent(self):
+        full, base, n_new = _split_db()
+        uses = _uses(full)
+        initial = build_bdcc_table(base, "fact", uses, CONFIG)
+        appended = append_rows(
+            initial, full,
+            {name: values[-n_new:] for name, values in full.table_data("fact").items()},
+        )
+        use = appended.uses[0]
+        dkeys = full.column("fact", "f_dkey")[appended.row_source]
+        expected = use.dimension.bin_of_values([dkeys])
+        assert np.array_equal(gather_use_bits(appended.keys, use.mask), expected)
+
+    def test_out_of_domain_values_clamp(self):
+        """New values beyond the dimension domain land in the last bin —
+        no renumbering, order preserved (the paper's update story)."""
+        full, base, n_new = _split_db()
+        uses = _uses(full)
+        initial = build_bdcc_table(base, "fact", uses, CONFIG)
+        data = dict(full.table_data("fact"))
+        data["f_local"] = data["f_local"].copy()
+        data["f_local"][-1] = 999  # unseen, above the domain
+        full.add_table_data("fact", data)
+        appended = append_rows(
+            initial, full,
+            {name: values[-n_new:] for name, values in full.table_data("fact").items()},
+        )
+        assert appended.count_table.total_rows() == full.num_rows("fact")
+        assert np.all(np.diff(appended.keys.astype(np.int64)) >= 0)
+
+    def test_row_count_mismatch_rejected(self):
+        full, base, n_new = _split_db()
+        initial = build_bdcc_table(base, "fact", _uses(full), CONFIG)
+        with pytest.raises(ValueError):
+            append_rows(initial, base, {"f_id": np.arange(3)})
+
+    def test_append_after_consolidation(self):
+        """Appending rebuilds from logical rows: consolidated duplicates
+        of the old table never leak into the new one."""
+        full, base, n_new = _split_db()
+        uses = _uses(full)
+        config = BDCCBuildConfig(
+            efficient_access_bytes=2048.0, consolidate_max_fraction=0.9
+        )
+        initial = build_bdcc_table(base, "fact", uses, config)
+        appended = append_rows(
+            initial, full,
+            {name: values[-n_new:] for name, values in full.table_data("fact").items()},
+        )
+        assert appended.stored_rows == full.num_rows("fact")
+        assert np.array_equal(
+            np.sort(appended.row_source), np.arange(full.num_rows("fact"))
+        )

@@ -1,0 +1,114 @@
+"""KeyEncoder and equi-frequency binning (the tech-report [4] substitute)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.binning import KeyEncoder, equi_frequency_cuts
+
+
+class TestKeyEncoder:
+    def test_single_attribute_order(self):
+        enc = KeyEncoder([np.array([30, 10, 20])])
+        codes = enc.encode([np.array([10, 20, 30])])
+        assert list(codes) == [0, 1, 2]
+
+    def test_strings(self):
+        enc = KeyEncoder([np.array(["b", "a", "c"])])
+        codes = enc.encode([np.array(["a", "b", "c"])])
+        assert list(codes) == [0, 1, 2]
+
+    def test_multi_attribute_lexicographic(self):
+        region = np.array([0, 0, 1, 1])
+        nation = np.array([5, 7, 1, 3])
+        enc = KeyEncoder([region, nation])
+        codes = enc.encode([region, nation])
+        # (0,5) < (0,7) < (1,1) < (1,3)
+        assert list(np.argsort(codes)) == [0, 1, 2, 3]
+        assert codes[1] < codes[2]  # region dominates
+
+    def test_lower_upper_codes_prefix(self):
+        region = np.array([0, 0, 1, 1, 2])
+        nation = np.array([5, 7, 1, 3, 9])
+        enc = KeyEncoder([region, nation])
+        lo = enc.lower_code([1])
+        hi = enc.upper_code([1])
+        codes = enc.encode([region, nation])
+        inside = (codes >= lo) & (codes <= hi)
+        assert list(inside) == [False, False, True, True, False]
+
+    def test_upper_code_below_domain(self):
+        enc = KeyEncoder([np.array([10, 20])])
+        assert enc.upper_code([5]) < enc.lower_code([10])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            KeyEncoder([])
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            KeyEncoder([np.array([1]), np.array([1, 2])])
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=50))
+    def test_encoding_is_monotone(self, values):
+        arr = np.array(values)
+        enc = KeyEncoder([arr])
+        codes = enc.encode([arr])
+        order = np.argsort(values, kind="stable")
+        assert np.all(np.diff(codes[order]) >= 0)
+
+
+class TestEquiFrequencyCuts:
+    def test_unique_bins_when_budget_allows(self):
+        codes = np.array([3, 1, 2, 1, 3], dtype=np.int64)
+        uppers = equi_frequency_cuts(codes, max_bits=4)
+        assert list(uppers) == [1, 2, 3]
+
+    def test_caps_bin_count(self):
+        codes = np.arange(1000, dtype=np.int64)
+        uppers = equi_frequency_cuts(codes, max_bits=3)
+        assert len(uppers) == 8
+
+    def test_last_upper_is_max(self):
+        codes = np.arange(100, dtype=np.int64)
+        uppers = equi_frequency_cuts(codes, max_bits=2)
+        assert uppers[-1] == 99
+
+    def test_heavy_hitter_collapses_bins(self):
+        # one value holds 90% of the mass: it absorbs most quantiles
+        codes = np.concatenate([np.full(900, 5), np.arange(100)]).astype(np.int64)
+        uppers = equi_frequency_cuts(codes, max_bits=3)
+        assert len(uppers) < 8
+        assert 5 in uppers
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            equi_frequency_cuts(np.array([], dtype=np.int64), 3)
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(st.integers(0, 500), min_size=1, max_size=400),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_invariants(self, values, max_bits):
+        codes = np.array(values, dtype=np.int64)
+        uppers = equi_frequency_cuts(codes, max_bits)
+        # ordered, unique, bounded, surjective onto max
+        assert np.all(np.diff(uppers) > 0)
+        assert len(uppers) <= 2**max_bits
+        assert uppers[-1] == codes.max()
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(0, 10_000), min_size=64, max_size=600))
+    def test_balance_without_heavy_hitters(self, values):
+        """With all-distinct values, equi-depth bins differ by at most a
+        factor ~2 in population."""
+        codes = np.unique(np.array(values, dtype=np.int64))
+        if len(codes) < 64:
+            return
+        uppers = equi_frequency_cuts(codes, max_bits=3)
+        bins = np.searchsorted(uppers, codes, side="left")
+        counts = np.bincount(bins, minlength=len(uppers))
+        expected = len(codes) / len(uppers)
+        assert counts.max() <= np.ceil(expected) + 1

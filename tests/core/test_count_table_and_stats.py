@@ -1,0 +1,170 @@
+"""Count tables, group-size statistics and the scatter scan."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bdcc_table import BDCCBuildConfig, build_bdcc_table
+from repro.core.count_table import CountTable
+from repro.core.dimension_use import DimensionUse, check_bdcc_constraints
+from repro.core.histograms import choose_granularity, collect_granularity_stats
+from repro.core.scatter_scan import ScatterScan
+
+from .test_bdcc_table import _mini_db, _uses
+
+
+class TestCountTable:
+    def test_from_sorted_keys(self):
+        keys = np.array([0, 0, 1, 1, 1, 3], dtype=np.uint64)
+        ct = CountTable.from_sorted_keys(keys, total_bits=2, granularity=2)
+        assert list(ct.keys) == [0, 1, 3]
+        assert list(ct.counts) == [2, 3, 1]
+        assert list(ct.offsets) == [0, 2, 5]
+        assert ct.total_rows() == 6
+
+    def test_reduced_granularity_merges(self):
+        keys = np.array([0b00, 0b01, 0b10, 0b11], dtype=np.uint64)
+        ct = CountTable.from_sorted_keys(keys, total_bits=2, granularity=1)
+        assert list(ct.keys) == [0, 1]
+        assert list(ct.counts) == [2, 2]
+
+    def test_empty(self):
+        ct = CountTable.from_sorted_keys(np.zeros(0, dtype=np.uint64), 4, 2)
+        assert ct.num_entries == 0 and ct.total_rows() == 0
+
+    def test_row_runs_merge_adjacent(self):
+        keys = np.array([0, 0, 1, 3, 3], dtype=np.uint64)
+        ct = CountTable.from_sorted_keys(keys, 2, 2)
+        runs = ct.row_runs(np.array([0, 1, 2]))
+        assert runs == [(0, 5)]
+        runs = ct.row_runs(np.array([0, 2]))
+        assert runs == [(0, 2), (3, 2)]
+
+    def test_bad_granularity(self):
+        with pytest.raises(ValueError):
+            CountTable.from_sorted_keys(np.zeros(1, dtype=np.uint64), 2, 5)
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(st.integers(0, 63), min_size=1, max_size=200),
+        st.integers(min_value=0, max_value=6),
+    )
+    def test_counts_sum_to_rows(self, raw_keys, g):
+        keys = np.sort(np.array(raw_keys, dtype=np.uint64))
+        ct = CountTable.from_sorted_keys(keys, 6, g)
+        assert ct.total_rows() == len(keys)
+        assert np.all(np.diff(ct.keys.astype(np.int64)) > 0)
+
+
+class TestGranularityStats:
+    def test_num_groups_monotone(self):
+        keys = np.sort(np.random.default_rng(0).integers(0, 256, 500).astype(np.uint64))
+        stats = collect_granularity_stats(keys, 8)
+        assert stats.num_groups[0] == 1
+        for g in range(8):
+            assert stats.num_groups[g] <= stats.num_groups[g + 1]
+
+    def test_correlation_shows_missing_groups(self):
+        # two perfectly correlated 2-bit dimensions interleaved: only 4 of
+        # 16 groups exist ("puff pastry")
+        bins = np.repeat(np.arange(4, dtype=np.uint64), 50)
+        keys = np.zeros(len(bins), dtype=np.uint64)
+        for j, (src, dst_hi, dst_lo) in enumerate([(1, 3, 1), (0, 2, 0)]):
+            pass
+        # key = b1 b1' b0 b0' with identical dims
+        keys = ((bins >> 1) << 3) | ((bins >> 1) << 2) | ((bins & 1) << 1) | (bins & 1)
+        stats = collect_granularity_stats(np.sort(keys), 4)
+        assert stats.num_groups[4] == 4
+        assert stats.missing_group_fraction(4) == pytest.approx(0.75)
+
+    def test_correlated_dims_get_higher_granularity(self):
+        """The adaptation the paper describes: missing groups -> larger
+        actual groups -> a higher count-table granularity is chosen."""
+        rng = np.random.default_rng(1)
+        independent = np.sort(rng.integers(0, 16, 4096).astype(np.uint64))
+        bins = rng.integers(0, 4, 4096).astype(np.uint64)
+        correlated = np.sort(((bins >> 1) << 3) | ((bins >> 1) << 2) | ((bins & 1) << 1) | (bins & 1))
+        s_ind = collect_granularity_stats(independent, 4)
+        s_cor = collect_granularity_stats(correlated, 4)
+        width, ar = 8.0, 2048.0
+        assert choose_granularity(s_cor, width, ar) >= choose_granularity(s_ind, width, ar)
+
+    def test_choose_granularity_validates(self):
+        stats = collect_granularity_stats(np.zeros(4, dtype=np.uint64), 2)
+        with pytest.raises(ValueError):
+            choose_granularity(stats, 0.0, 1024)
+        with pytest.raises(ValueError):
+            choose_granularity(stats, 8.0, 0.0)
+
+
+class TestDimensionUseConstraints:
+    def test_overlap_rejected(self, ):
+        db = _mini_db()
+        uses = _uses(db)
+        uses[0].mask = 0b1100000
+        uses[1].mask = 0b0111111  # overlaps bit 5
+        with pytest.raises(ValueError):
+            check_bdcc_constraints(uses, 7)
+
+    def test_gap_rejected(self):
+        db = _mini_db()
+        uses = _uses(db)
+        uses[0].mask = 0b1100000
+        uses[1].mask = 0b0001111  # bit 4 unset
+        with pytest.raises(ValueError):
+            check_bdcc_constraints(uses, 7)
+
+    def test_too_many_bits_rejected(self):
+        db = _mini_db()
+        uses = _uses(db)[:1]
+        uses[0].mask = 0b1111  # 4 bits but D_DIM has 3
+        with pytest.raises(ValueError):
+            check_bdcc_constraints(uses, 4)
+
+
+class TestScatterScan:
+    @pytest.fixture()
+    def bdcc(self):
+        db = _mini_db(n_fact=512, seed=2)
+        return db, build_bdcc_table(
+            db, "fact", _uses(db),
+            BDCCBuildConfig(efficient_access_bytes=512.0, consolidate_max_fraction=None),
+        )
+
+    def test_native_order_is_storage_order(self, bdcc):
+        _, table = bdcc
+        result = ScatterScan(table).scan()
+        assert np.array_equal(result.rows, np.arange(table.stored_rows))
+        assert result.runs == [(0, table.stored_rows)]
+
+    def test_any_major_order_is_permutation(self, bdcc):
+        _, table = bdcc
+        for major in ([(0, None)], [(1, None)], [(1, None), (0, None)]):
+            result = ScatterScan(table).scan(major=major)
+            assert sorted(result.rows.tolist()) == list(range(table.stored_rows))
+
+    def test_group_ids_match_dimension_bins(self, bdcc):
+        db, table = bdcc
+        result = ScatterScan(table).scan(major=[(0, None)])
+        bits = table.effective_bits(0)
+        dkeys = db.column("fact", "f_dkey")[table.row_source[result.rows]]
+        full_bins = table.uses[0].dimension.bin_of_values([dkeys])
+        expected = full_bins >> np.uint64(table.uses[0].dimension.bits - bits)
+        assert np.array_equal(result.group_ids, expected)
+        # group-major: ids are non-decreasing along the stream
+        assert np.all(np.diff(result.group_ids.astype(np.int64)) >= 0)
+
+    def test_minor_order_costs_more_runs(self, bdcc):
+        _, table = bdcc
+        native = ScatterScan(table).scan()
+        scattered = ScatterScan(table).scan(major=[(1, None)])
+        assert len(scattered.runs) >= len(native.runs)
+
+    def test_restriction_reduces_rows(self, bdcc):
+        _, table = bdcc
+        allowed = np.array([0], dtype=np.uint64)
+        result = ScatterScan(table).scan(
+            restrictions=[(0, allowed, table.uses[0].dimension.bits)]
+        )
+        assert 0 < result.num_rows < table.stored_rows

@@ -1,0 +1,33 @@
+"""Design report rendering."""
+
+from repro.core.advisor import SchemaAdvisor
+from repro.core.report import design_report
+
+
+class TestDesignReport:
+    def test_design_only(self, tpch_db):
+        design = SchemaAdvisor(tpch_db.schema).design(tpch_db)
+        text = design_report(design)
+        assert "D_NATION" in text and "nation(n_regionkey,n_nationkey)" in text
+        assert "FK_L_O.FK_O_C.FK_C_N" in text
+        assert "unclustered tables: region" in text
+        assert "(assigned at build)" in text
+
+    def test_with_built_tables(self, tpch_db, environment):
+        advisor = SchemaAdvisor(tpch_db.schema, environment.advisor_config())
+        design = advisor.design(tpch_db)
+        built = advisor.build(tpch_db, design)
+        text = design_report(design, built)
+        assert "count table b=" in text
+        assert "self-tuning (Algorithm 1):" in text
+        assert "densest column l_comment" in text
+        # masks rendered at full width, one per use
+        lineitem_block = text.split("lineitem")[1]
+        assert lineitem_block.count("D_NATION") == 2
+
+    def test_cli_design_flag(self, capsys):
+        from repro.tpch.cli import main
+
+        assert main(["--sf", "0.002", "--design"]) == 0
+        out = capsys.readouterr().out
+        assert "BDCC schema design" in out

@@ -1,0 +1,66 @@
+"""Property tests: scatter-scan orders combined with restrictions, and
+count-table coherence across granularities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bdcc_table import BDCCBuildConfig, build_bdcc_table
+from repro.core.count_table import CountTable
+from repro.core.scatter_scan import ScatterScan
+
+from .test_bdcc_table import _mini_db, _uses
+
+CONFIG = BDCCBuildConfig(efficient_access_bytes=256.0, consolidate_max_fraction=None)
+
+
+@pytest.fixture(scope="module")
+def table():
+    db = _mini_db(n_fact=600, seed=9)
+    return db, build_bdcc_table(db, "fact", _uses(db), CONFIG)
+
+
+class TestScatterScanProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        allowed=st.sets(st.integers(0, 7), min_size=1, max_size=8),
+        major_use=st.sampled_from([0, 1]),
+    )
+    def test_restricted_scan_in_any_order_is_exact_superset(
+        self, table, allowed, major_use
+    ):
+        db, bdcc = table
+        allowed_arr = np.array(sorted(allowed), dtype=np.uint64)
+        result = ScatterScan(bdcc).scan(
+            restrictions=[(0, allowed_arr, bdcc.uses[0].dimension.bits)],
+            major=[(major_use, None)],
+        )
+        dkeys = db.column("fact", "f_dkey")[bdcc.row_source[result.rows]]
+        bins = bdcc.uses[0].dimension.bin_of_values([dkeys])
+        selected = set(result.rows.tolist())
+        # superset: every qualifying row selected
+        all_dkeys = db.column("fact", "f_dkey")[bdcc.row_source]
+        all_bins = bdcc.uses[0].dimension.bin_of_values([all_dkeys])
+        qualifying = set(np.flatnonzero(np.isin(all_bins, allowed_arr)).tolist())
+        assert qualifying <= selected
+        # group-major emission: group ids non-decreasing
+        assert np.all(np.diff(result.group_ids.astype(np.int64)) >= 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(g=st.integers(min_value=0, max_value=7))
+    def test_count_table_coherent_across_granularities(self, table, g):
+        _, bdcc = table
+        ct = CountTable.from_sorted_keys(bdcc.keys, bdcc.total_bits, g)
+        assert ct.total_rows() == bdcc.stored_rows
+        # entries at granularity g are prefixes of entries at g+1
+        if g < bdcc.total_bits:
+            finer = CountTable.from_sorted_keys(bdcc.keys, bdcc.total_bits, g + 1)
+            coarse_from_finer = np.unique(finer.keys >> np.uint64(1))
+            assert np.array_equal(np.unique(ct.keys), coarse_from_finer)
+            # counts aggregate exactly
+            sums = {}
+            for key, count in zip(finer.keys.tolist(), finer.counts.tolist()):
+                sums[key >> 1] = sums.get(key >> 1, 0) + count
+            for key, count in zip(ct.keys.tolist(), ct.counts.tolist()):
+                assert sums[key] == count

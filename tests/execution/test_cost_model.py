@@ -1,0 +1,40 @@
+"""CPU cost model: cache-sensitivity steps and monotonicity."""
+
+import pytest
+
+from repro.execution.cost import DEFAULT_COSTS, CostModel
+
+
+class TestCacheFactor:
+    def test_steps_at_cache_boundaries(self):
+        c = DEFAULT_COSTS
+        assert c.cache_factor(c.l1_bytes) == 0.6
+        assert c.cache_factor(c.l1_bytes + 1) == 0.8
+        assert c.cache_factor(c.l2_bytes + 1) == 1.0
+        assert c.cache_factor(c.l3_bytes + 1) == 1.8
+        assert c.cache_factor(65 * c.l3_bytes) == 2.6
+
+    def test_monotone_in_state_size(self):
+        c = DEFAULT_COSTS
+        sizes = [1e3, 1e5, 1e6, 1e8, 1e10]
+        factors = [c.cache_factor(s) for s in sizes]
+        assert factors == sorted(factors)
+
+    def test_scaled_caches_shift_the_steps(self):
+        small = CostModel(l1_bytes=100, l2_bytes=1000, l3_bytes=10_000)
+        assert small.cache_factor(150) == 0.8
+        assert small.cache_factor(15_000) == 1.8
+        # same state would be L1-resident on the default machine
+        assert DEFAULT_COSTS.cache_factor(150) == 0.6
+
+    def test_sandwich_cpu_benefit_exists(self):
+        """A per-group state below L1 must be cheaper per probe than a
+        full build above L3 — the CPU half of sandwiched execution."""
+        c = DEFAULT_COSTS
+        full = c.hash_probe_row * c.cache_factor(100 * c.l3_bytes)
+        grouped = c.hash_probe_row * c.cache_factor(c.l1_bytes / 2)
+        assert grouped < full / 3
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COSTS.scan_value = 1.0

@@ -1,0 +1,152 @@
+"""Relation container, memory tracker, execution metrics, query runner."""
+
+import numpy as np
+import pytest
+
+from repro.execution.metrics import ExecutionMetrics, MemoryTracker
+from repro.execution.relation import Relation, StreamUse, row_bytes_of
+
+
+def _rel():
+    return Relation(
+        columns={
+            "a": np.array([1, 2, 3], dtype=np.int64),
+            "b": np.array(["x", "y", "z"]),
+            "__grp__t__0": np.array([0, 0, 1], dtype=np.uint64),
+        },
+        sorted_on=("a",),
+        owners={"a": "t", "b": "t"},
+    )
+
+
+class TestRelation:
+    def test_visible_columns_hide_group_ids(self):
+        rel = _rel()
+        assert rel.column_names == ["a", "b"]
+        assert rel.num_rows == 3
+
+    def test_take_preserves_or_drops_sort(self):
+        rel = _rel()
+        taken = rel.take(np.array([0, 2]), keep_sorted=True)
+        assert taken.sorted_on == ("a",)
+        shuffled = rel.take(np.array([2, 0]))
+        assert shuffled.sorted_on == ()
+
+    def test_filter_preserves_properties(self):
+        rel = _rel()
+        out = rel.filter(np.array([True, False, True]))
+        assert out.sorted_on == ("a",)
+        assert out.num_rows == 2
+        assert out.owners["a"] == "t"
+
+    def test_project_keeps_hidden_use_columns(self):
+        rel = _rel()
+        rel.uses = [StreamUse("t", None, (), 1, "__grp__t__0")]
+        out = rel.project(["a"])
+        assert "__grp__t__0" in out.columns
+        assert out.column_names == ["a"]
+
+    def test_project_drops_stale_sort(self):
+        rel = _rel()
+        out = rel.project(["b"])
+        assert out.sorted_on == ()
+
+    def test_row_bytes_strings_counted_as_chars(self):
+        cols = {"s": np.array(["abcd", "ef"])}  # <U4 -> 4 bytes modelled
+        assert row_bytes_of(cols) == pytest.approx(4.0)
+
+    def test_with_column_and_owner(self):
+        rel = _rel().with_column("c", np.zeros(3), owner="t2")
+        assert rel.owners["c"] == "t2"
+
+    def test_missing_column_error_is_helpful(self):
+        with pytest.raises(KeyError, match="no column 'zz'"):
+            _rel().column("zz")
+
+    def test_to_rows(self):
+        rows = _rel().to_rows()
+        assert rows[0] == (1, "x")
+
+    def test_validity_masks_travel(self):
+        rel = _rel()
+        rel.valid["a"] = np.array([True, False, True])
+        out = rel.filter(np.array([True, True, False]))
+        assert list(out.valid["a"]) == [True, False]
+
+
+class TestMemoryTracker:
+    def test_peak_tracks_concurrent_allocations(self):
+        tracker = MemoryTracker()
+        r1 = tracker.allocate("a", 100)
+        r2 = tracker.allocate("b", 50)
+        assert tracker.peak_bytes == 150
+        r1.release()
+        r3 = tracker.allocate("c", 60)
+        assert tracker.peak_bytes == 150  # 50 + 60 < 150
+        r2.release(); r3.release()
+        assert tracker.current_bytes == 0
+
+    def test_double_release_is_idempotent(self):
+        tracker = MemoryTracker()
+        r = tracker.allocate("a", 10)
+        r.release(); r.release()
+        assert tracker.current_bytes == 0
+
+    def test_grow_after_release_rejected(self):
+        tracker = MemoryTracker()
+        r = tracker.allocate("a", 10)
+        r.release()
+        with pytest.raises(RuntimeError):
+            r.grow(5)
+
+    def test_context_manager(self):
+        tracker = MemoryTracker()
+        with tracker.allocate("a", 10):
+            assert tracker.current_bytes == 10
+        assert tracker.current_bytes == 0
+
+
+class TestExecutionMetrics:
+    def test_totals(self):
+        m = ExecutionMetrics()
+        m.charge_io(1000, 2, 0.5)
+        m.charge_cpu(0.25, "join")
+        assert m.total_seconds == pytest.approx(0.75)
+        assert m.counters["join"] == pytest.approx(0.25)
+
+    def test_notes_and_bumps(self):
+        m = ExecutionMetrics()
+        m.note("hello")
+        m.bump("sandwich_joins")
+        m.bump("sandwich_joins")
+        assert m.notes == ["hello"]
+        assert m.counters["sandwich_joins"] == 2.0
+
+
+class TestQueryRunner:
+    def test_multi_stage_merge(self, plain_db, environment):
+        from repro.execution.aggregate import AggSpec
+        from repro.execution.expressions import col
+        from repro.planner.executor import Executor
+        from repro.planner.logical import scan
+        from repro.tpch.runner import QueryRunner
+
+        runner = QueryRunner(Executor(plain_db, disk=environment.disk))
+        first = runner.execute(scan("nation").groupby([], [AggSpec("n", "count")]))
+        io_after_first = runner.metrics.io_seconds
+        runner.execute(scan("region").groupby([], [AggSpec("n", "count")]))
+        assert runner.metrics.io_seconds > io_after_first
+        # peak is the max across stages, not the sum
+        assert runner.metrics.peak_memory_bytes >= 0
+        assert first.relation.num_rows == 1
+
+    def test_scale_factor_defaults_to_one(self, plain_db):
+        from repro.planner.executor import Executor
+        from repro.tpch.runner import QueryRunner
+
+        plain_db.database.scale_factor, saved = None, plain_db.database.scale_factor
+        try:
+            runner = QueryRunner(Executor(plain_db))
+            assert runner.scale_factor == 1.0
+        finally:
+            plain_db.database.scale_factor = saved

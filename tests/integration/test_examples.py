@@ -1,0 +1,24 @@
+"""Every example script must run end to end (they double as docs)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parents[2] / "examples").glob("*.py"),
+    key=lambda p: p.name,
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    args = [sys.executable, str(script)]
+    if script.name == "tpch_advisor.py":
+        args.append("0.003")  # keep CI-fast
+    completed = subprocess.run(
+        args, capture_output=True, text=True, timeout=300
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"

@@ -1,0 +1,87 @@
+"""Randomised pushdown/propagation correctness.
+
+For random predicate parameterisations of a propagation-heavy query
+shape, BDCC (with all optimizations) must return exactly the rows plain
+storage returns.  This is the property the whole pruning machinery hangs
+on: group restriction is always a superset of the qualifying rows.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.execution.aggregate import AggSpec
+from repro.execution.expressions import col
+from repro.planner.executor import Executor
+from repro.planner.logical import scan
+from repro.tpch.dates import ORDER_DATE_MAX, ORDER_DATE_MIN
+from repro.tpch.text import NATIONS, REGIONS, SEGMENTS
+
+
+def _query(date_lo, date_hi, region, segment):
+    return (
+        scan("customer", predicate=col("c_mktsegment").eq(segment))
+        .join(
+            scan("orders", predicate=col("o_orderdate").between(date_lo, date_hi)),
+            on=[("c_custkey", "o_custkey")],
+        )
+        .join(scan("lineitem"), on=[("o_orderkey", "l_orderkey")])
+        .join(scan("nation"), on=[("c_nationkey", "n_nationkey")])
+        .join(
+            scan("region", predicate=col("r_name").eq(region)),
+            on=[("n_regionkey", "r_regionkey")],
+        )
+        .groupby(
+            ["n_name"],
+            [AggSpec("rows", "count"), AggSpec("qty", "sum", col("l_quantity"))],
+        )
+        .sort([("n_name", True)])
+    )
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    lo_frac=st.floats(0.0, 0.9),
+    width_frac=st.floats(0.02, 0.5),
+    region=st.sampled_from(REGIONS),
+    segment=st.sampled_from(SEGMENTS),
+)
+def test_random_parameterisations_agree(
+    lo_frac, width_frac, region, segment, plain_db, bdcc_db, environment
+):
+    span = ORDER_DATE_MAX - ORDER_DATE_MIN
+    lo = int(ORDER_DATE_MIN + lo_frac * span)
+    hi = int(min(ORDER_DATE_MAX, lo + width_frac * span))
+    plan = _query(lo, hi, region, segment)
+
+    plain_rows = Executor(plain_db, disk=environment.disk).execute(plan).rows
+    bdcc_result = Executor(bdcc_db, disk=environment.disk).execute(plan)
+    assert len(plain_rows) == len(bdcc_result.rows)
+    for pr, br in zip(sorted(plain_rows), sorted(bdcc_result.rows)):
+        assert pr[0] == br[0] and pr[1] == br[1]
+        assert pr[2] == pytest.approx(br[2])
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(nation=st.sampled_from([n for n, _ in NATIONS]))
+def test_nation_equality_pushdown_agrees(nation, plain_db, bdcc_db, environment):
+    plan = (
+        scan("supplier")
+        .join(
+            scan("nation", predicate=col("n_name").eq(nation)),
+            on=[("s_nationkey", "n_nationkey")],
+        )
+        .groupby([], [AggSpec("suppliers", "count")])
+    )
+    plain = Executor(plain_db, disk=environment.disk).execute(plan).rows
+    bdcc = Executor(bdcc_db, disk=environment.disk).execute(plan).rows
+    assert plain == bdcc

@@ -1,0 +1,150 @@
+"""Scheme invariants, feature ablations and sandwich ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.core.bits import gather_use_bits, truncate_mask
+from repro.execution.sandwich import grouped_join_reference
+from repro.execution.join_utils import inner_join_pairs
+from repro.planner.executor import ExecutionOptions
+from repro.tpch import queries
+from repro.tpch.runner import run_query
+
+
+class TestSchemeInvariants:
+    def test_all_schemes_store_same_logical_rows(self, physical_dbs, tpch_db):
+        for name, pdb in physical_dbs.items():
+            for table in tpch_db.loaded_tables:
+                assert pdb.table(table).logical_rows == tpch_db.num_rows(table), (
+                    f"{name}/{table}"
+                )
+
+    def test_pk_tables_sorted(self, pk_db, tpch_db):
+        for table in tpch_db.loaded_tables:
+            stored = pk_db.table(table)
+            if not stored.sort_columns:
+                continue
+            first = stored.columns[stored.sort_columns[0]]
+            assert np.all(np.diff(first.astype(np.int64)) >= 0)
+
+    def test_bdcc_tables_sorted_on_key(self, bdcc_db):
+        for table, bdcc in bdcc_db.bdcc_tables().items():
+            assert np.all(np.diff(bdcc.keys.astype(np.int64)) >= 0)
+
+    def test_bdcc_design_matches_paper_structure(self, bdcc_db):
+        bdcc_tables = bdcc_db.bdcc_tables()
+        assert set(bdcc_tables) == {
+            "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+        }
+        assert len(bdcc_tables["lineitem"].uses) == 4
+
+    def test_storage_footprint_similar_across_schemes(self, physical_dbs):
+        """The paper stresses all three schemes take ~the same space."""
+        totals = {
+            name: sum(t.total_bytes() for t in pdb.stored.values())
+            for name, pdb in physical_dbs.items()
+        }
+        base = totals["plain"]
+        for name, total in totals.items():
+            assert total <= base * 1.05, name  # consolidation adds <= 5%
+
+
+QUERY_SAMPLE = ["Q03", "Q05", "Q06", "Q09", "Q13", "Q18", "Q21"]
+
+
+def _rows(result):
+    return sorted(map(str, result.rows))
+
+
+class TestAblations:
+    @pytest.mark.parametrize("qname", QUERY_SAMPLE)
+    def test_sandwich_off_same_results_more_memory(self, bdcc_db, environment, qname):
+        fn = queries.QUERIES[qname]
+        on, m_on = run_query(bdcc_db, fn, disk=environment.disk, costs=environment.cost_model)
+        off, m_off = run_query(
+            bdcc_db, fn,
+            disk=environment.disk,
+            costs=environment.cost_model,
+            options=ExecutionOptions(enable_sandwich=False),
+        )
+        assert _rows(on) == _rows(off)
+        assert m_on.peak_memory_bytes <= m_off.peak_memory_bytes + 1.0
+
+    @pytest.mark.parametrize("qname", QUERY_SAMPLE)
+    def test_pushdown_off_same_results_more_io(self, bdcc_db, environment, qname):
+        fn = queries.QUERIES[qname]
+        on, m_on = run_query(bdcc_db, fn, disk=environment.disk)
+        off, m_off = run_query(
+            bdcc_db, fn,
+            disk=environment.disk,
+            options=ExecutionOptions(enable_pushdown=False),
+        )
+        assert _rows(on) == _rows(off)
+        assert m_on.io_bytes <= m_off.io_bytes + 1.0
+
+    @pytest.mark.parametrize("qname", ["Q06", "Q12"])
+    def test_minmax_off_same_results(self, bdcc_db, environment, qname):
+        fn = queries.QUERIES[qname]
+        on, m_on = run_query(bdcc_db, fn, disk=environment.disk)
+        off, m_off = run_query(
+            bdcc_db, fn,
+            disk=environment.disk,
+            options=ExecutionOptions(enable_minmax=False),
+        )
+        assert _rows(on) == _rows(off)
+        assert m_on.io_bytes <= m_off.io_bytes + 1.0
+
+    def test_propagation_gives_extra_pruning_on_q05(self, bdcc_db, environment):
+        fn = queries.QUERIES["Q05"]
+        _, full = run_query(bdcc_db, fn, disk=environment.disk)
+        _, local = run_query(
+            bdcc_db, fn,
+            disk=environment.disk,
+            options=ExecutionOptions(enable_propagation=False),
+        )
+        assert full.io_bytes <= local.io_bytes
+
+
+class TestSandwichGroundTruth:
+    """The co-clustering precondition and the memory model, verified on
+    real BDCC streams (ORDERS join CUSTOMER over D_NATION, the paper's
+    Q13 case)."""
+
+    def test_join_keys_imply_equal_groups(self, bdcc_db, tpch_db):
+        orders = bdcc_db.bdcc_tables()["orders"]
+        customer = bdcc_db.bdcc_tables()["customer"]
+        o_use = next(i for i, u in enumerate(orders.uses) if u.dimension.name == "D_NATION")
+        c_use = next(i for i, u in enumerate(customer.uses) if u.dimension.name == "D_NATION")
+        bits = min(orders.effective_bits(o_use), customer.effective_bits(c_use))
+        assert bits > 0
+
+        o_groups = gather_use_bits(orders.keys, orders.uses[o_use].mask, bits)
+        c_groups = gather_use_bits(customer.keys, customer.uses[c_use].mask, bits)
+
+        o_cust = tpch_db.column("orders", "o_custkey")[orders.row_source]
+        c_key = tpch_db.column("customer", "c_custkey")[customer.row_source]
+        cust_group = dict(zip(c_key.tolist(), c_groups.tolist()))
+        for ck, og in zip(o_cust.tolist(), o_groups.tolist()):
+            assert cust_group[ck] == og
+
+    def test_grouped_execution_equals_vectorised_on_real_data(self, bdcc_db, tpch_db):
+        orders = bdcc_db.bdcc_tables()["orders"]
+        customer = bdcc_db.bdcc_tables()["customer"]
+        o_use = next(i for i, u in enumerate(orders.uses) if u.dimension.name == "D_NATION")
+        c_use = next(i for i, u in enumerate(customer.uses) if u.dimension.name == "D_NATION")
+        bits = min(orders.effective_bits(o_use), customer.effective_bits(c_use))
+
+        o_groups = gather_use_bits(orders.keys, orders.uses[o_use].mask, bits)
+        c_groups = gather_use_bits(customer.keys, customer.uses[c_use].mask, bits)
+        o_keys = tpch_db.column("orders", "o_custkey")[orders.row_source].astype(np.int64)
+        c_keys = tpch_db.column("customer", "c_custkey")[customer.row_source].astype(np.int64)
+
+        # limit to a slice for the quadratic reference implementation
+        o_sel = slice(0, 400)
+        pairs, max_build = grouped_join_reference(
+            o_keys[o_sel], o_groups[o_sel], c_keys, c_groups
+        )
+        lidx, ridx = inner_join_pairs(o_keys[o_sel], c_keys)
+        assert pairs == sorted(zip(lidx.tolist(), ridx.tolist()))
+        # per-group build is genuinely smaller than the full build side
+        assert max_build < len(c_keys)

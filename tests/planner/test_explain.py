@@ -1,0 +1,54 @@
+"""EXPLAIN rendering."""
+
+from repro.execution.aggregate import AggSpec
+from repro.execution.expressions import col
+from repro.planner.executor import Executor
+from repro.planner.explain import explain, format_plan
+from repro.planner.logical import scan
+from repro.tpch.dates import days
+
+
+def _plan():
+    return (
+        scan("orders", predicate=col("o_orderdate").lt(days("1994-01-01")))
+        .join(scan("lineitem"), on=[("o_orderkey", "l_orderkey")])
+        .groupby(["o_orderpriority"], [AggSpec("n", "count")])
+        .sort([("o_orderpriority", True)])
+        .limit(5)
+    )
+
+
+class TestFormatPlan:
+    def test_tree_structure(self):
+        text = format_plan(_plan())
+        lines = text.splitlines()
+        assert lines[0].startswith("Limit 5")
+        assert any("Join inner ON o_orderkey=l_orderkey" in l for l in lines)
+        assert any("Scan orders WHERE ..." in l for l in lines)
+        assert any("GroupBy [o_orderpriority] -> n=count" in l for l in lines)
+        # children indented under parents
+        join_depth = next(l for l in lines if "Join" in l).index("Join") // 2
+        scan_depth = next(l for l in lines if "Scan orders" in l).index("Scan") // 2
+        assert scan_depth == join_depth + 1
+
+    def test_alias_and_sort_rendering(self):
+        plan = scan("lineitem", alias="l2").sort([("l2.l_quantity", False)])
+        text = format_plan(plan)
+        assert "Scan lineitem as l2" in text
+        assert "Sort [l2.l_quantity desc]" in text
+
+
+class TestExplain:
+    def test_bdcc_explain_mentions_strategies(self, bdcc_db, environment):
+        executor = Executor(bdcc_db, disk=environment.disk, costs=environment.cost_model)
+        text = explain(executor, _plan())
+        assert "scheme: bdcc" in text
+        assert "decisions:" in text
+        assert "pushdown" in text
+        assert "cost:" in text and "simulated" in text
+
+    def test_plain_explain_has_costs(self, plain_db, environment):
+        executor = Executor(plain_db, disk=environment.disk)
+        text = explain(executor, _plan())
+        assert "scheme: plain" in text
+        assert "hash join" in text or "(none" in text

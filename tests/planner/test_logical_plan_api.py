@@ -1,0 +1,102 @@
+"""Logical plan construction API: validation and shapes."""
+
+import pytest
+
+from repro.execution.aggregate import AggSpec
+from repro.execution.expressions import col
+from repro.planner.logical import (
+    GroupByNode,
+    JoinNode,
+    LimitNode,
+    Plan,
+    ScanNode,
+    SortNode,
+    scan,
+    walk,
+)
+
+
+class TestBuilders:
+    def test_scan_defaults_alias_to_table(self):
+        node = scan("nation").node
+        assert isinstance(node, ScanNode)
+        assert node.alias == "nation" and node.prefix == ""
+
+    def test_alias_prefix(self):
+        node = scan("nation", alias="n2").node
+        assert node.prefix == "n2."
+
+    def test_fluent_chain_shapes(self):
+        plan = (
+            scan("orders")
+            .filter(col("o_orderkey").gt(0))
+            .join(scan("lineitem"), on=[("o_orderkey", "l_orderkey")])
+            .groupby(["o_orderkey"], [AggSpec("n", "count")])
+            .sort([("n", False)])
+            .limit(3)
+        )
+        kinds = [type(n).__name__ for n in walk(plan.node)]
+        assert kinds[0] == "LimitNode"
+        assert "JoinNode" in kinds and "FilterNode" in kinds
+        assert kinds.count("ScanNode") == 2
+
+    def test_project_items_order(self):
+        plan = scan("nation").project_items([("a", col("n_nationkey")), ("b", col("n_name"))])
+        assert [name for name, _ in plan.node.exprs] == ["a", "b"]
+
+    def test_join_accepts_plan_or_node(self):
+        inner = scan("nation")
+        for other in (inner, inner.node):
+            plan = scan("supplier").join(other, on=[("s_nationkey", "n_nationkey")])
+            assert isinstance(plan.node, JoinNode)
+
+
+class TestValidation:
+    def test_unknown_join_kind(self):
+        with pytest.raises(ValueError):
+            JoinNode(scan("nation").node, scan("region").node, ("a",), ("b",), how="outer")
+
+    def test_empty_join_keys(self):
+        with pytest.raises(ValueError):
+            JoinNode(scan("nation").node, scan("region").node, (), ())
+
+    def test_mismatched_join_keys(self):
+        with pytest.raises(ValueError):
+            scan("nation").join(scan("region"), on=[])
+
+    def test_residual_on_left_join_rejected(self):
+        with pytest.raises(ValueError):
+            JoinNode(
+                scan("nation").node, scan("region").node,
+                ("n_regionkey",), ("r_regionkey",),
+                how="left", residual=col("x").gt(1),
+            )
+
+
+class TestPropagationWithAliases:
+    """Q7-style twin nation scans: each alias restricted independently."""
+
+    def test_twin_nation_aliases(self, bdcc_db):
+        from repro.planner.analysis import analyse_plan
+        from repro.planner.propagation import compute_restrictions
+
+        plan = (
+            scan("supplier")
+            .join(
+                scan("nation", alias="n1", predicate=col("n1.n_name").eq("FRANCE")),
+                on=[("s_nationkey", "n1.n_nationkey")],
+            )
+            .join(scan("customer"), on=[("s_nationkey", "c_nationkey")])
+        )
+        analysis = analyse_plan(plan.node, bdcc_db.schema)
+        alias_tables = {a: s.table for a, s in analysis.scans.items()}
+        restrictions = compute_restrictions(
+            bdcc_db.database, analysis, bdcc_db.bdcc_tables(), alias_tables
+        )
+        # supplier restricted through n1's predicate
+        assert "supplier" in restrictions
+        use_idx, bins, bits = restrictions["supplier"][0]
+        assert len(bins) == 1  # exactly FRANCE's nation bin
+        # n1 itself restricted; customer joins on a non-FK condition -> not
+        assert "n1" in restrictions
+        assert "customer" not in restrictions

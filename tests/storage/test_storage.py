@@ -1,0 +1,161 @@
+"""Storage substrate: pages, zone maps, disk model, database container."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog import INT32, Schema, string_type
+from repro.storage.database import Database, lookup_rows
+from repro.storage.io_model import PAPER_SSD, DiskModel
+from repro.storage.minmax import MinMaxIndex
+from repro.storage.pages import PageModel
+
+
+class TestPageModel:
+    def test_column_pages(self):
+        pm = PageModel(1024)
+        assert pm.column_pages(0, 4.0) == 0
+        assert pm.column_pages(1, 4.0) == 1
+        assert pm.column_pages(256, 4.0) == 1
+        assert pm.column_pages(257, 4.0) == 2
+
+    def test_rows_per_page(self):
+        assert PageModel(1024).rows_per_page(4.0) == 256
+
+    def test_row_runs_to_page_runs_merging(self):
+        pm = PageModel(1024)  # 256 rows/page at 4B
+        runs = pm.pages_for_row_runs([(0, 100), (100, 200)], 4.0)
+        assert runs == [(0, 2)]  # contiguous rows share pages
+
+    def test_scattered_runs(self):
+        pm = PageModel(1024)
+        runs = pm.pages_for_row_runs([(0, 10), (1000, 10)], 4.0)
+        assert runs == [(0, 1), (3, 1)]
+
+    def test_backward_jump_new_run(self):
+        pm = PageModel(1024)
+        runs = pm.pages_for_row_runs([(1000, 10), (0, 10)], 4.0)
+        assert len(runs) == 2
+
+
+class TestDiskModel:
+    def test_efficient_access_size_inverse(self):
+        disk = DiskModel(sequential_bandwidth=1e9, access_latency=8.192e-6)
+        ar = disk.efficient_access_size(0.8)
+        assert ar == pytest.approx(32 * 1024, rel=1e-6)
+        assert disk.efficiency(ar) == pytest.approx(0.8)
+
+    def test_paper_device(self):
+        assert PAPER_SSD.efficient_access_size(0.8) == pytest.approx(32 * 1024)
+
+    def test_time_for_runs(self):
+        disk = DiskModel(1e9, 1e-5)
+        t = disk.time_for_runs([1e6, 1e6])
+        assert t == pytest.approx(2e-5 + 2e-3)
+
+    def test_sequential_beats_scattered(self):
+        disk = DiskModel(1e9, 1e-5)
+        assert disk.time_for_runs([4e6]) < disk.time_for_runs([1e6] * 4)
+
+    def test_efficiency_monotone(self):
+        disk = DiskModel(1e9, 1e-5)
+        sizes = [1e3, 1e4, 1e5, 1e6]
+        effs = [disk.efficiency(s) for s in sizes]
+        assert effs == sorted(effs)
+
+    def test_bad_target(self):
+        with pytest.raises(ValueError):
+            PAPER_SSD.efficient_access_size(1.5)
+
+
+class TestMinMax:
+    def test_build_and_prune(self):
+        values = np.arange(1000)
+        idx = MinMaxIndex.build(values, block_rows=100)
+        assert idx.num_blocks == 10
+        keep = idx.blocks_overlapping(250, 349)
+        assert list(np.flatnonzero(keep)) == [2, 3]
+
+    def test_open_bounds(self):
+        idx = MinMaxIndex.build(np.arange(100), 10)
+        assert np.all(idx.blocks_overlapping(None, None))
+        assert np.count_nonzero(idx.blocks_overlapping(95, None)) == 1
+
+    def test_row_runs_merge(self):
+        idx = MinMaxIndex.build(np.arange(100), 10)
+        runs = idx.row_runs_overlapping(0, 35, total_rows=100)
+        assert runs == [(0, 40)]
+
+    def test_random_order_prunes_nothing(self):
+        rng = np.random.default_rng(0)
+        values = rng.permutation(10_000)
+        idx = MinMaxIndex.build(values, 100)
+        # a 10% range still touches ~every block when data is shuffled
+        assert idx.selectivity(0, 999) > 0.95
+
+    def test_clustered_order_prunes(self):
+        values = np.sort(np.random.default_rng(0).integers(0, 10_000, 10_000))
+        idx = MinMaxIndex.build(values, 100)
+        assert idx.selectivity(0, 999) < 0.15
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=300))
+    def test_never_loses_rows(self, values):
+        arr = np.array(values)
+        idx = MinMaxIndex.build(arr, 16)
+        lo, hi = -10, 10
+        keep_blocks = idx.blocks_overlapping(lo, hi)
+        qualifying = np.flatnonzero((arr >= lo) & (arr <= hi))
+        for row in qualifying:
+            assert keep_blocks[row // 16]
+
+
+class TestDatabase:
+    def _db(self):
+        schema = Schema()
+        schema.add_table("p", [("id", INT32), ("v", INT32)], primary_key=["id"])
+        schema.add_table("c", [("cid", INT32), ("pid", INT32)], primary_key=["cid"])
+        schema.add_foreign_key("FK", "c", ["pid"], "p")
+        db = Database(schema)
+        db.add_table_data("p", {"id": np.array([10, 20, 30]), "v": np.array([1, 2, 3])})
+        db.add_table_data("c", {"cid": np.arange(4), "pid": np.array([20, 10, 30, 20])})
+        return db
+
+    def test_lookup_rows(self):
+        keys = [np.array([10, 20, 30])]
+        probes = [np.array([30, 10, 99])]
+        assert list(lookup_rows(keys, probes)) == [2, 0, -1]
+
+    def test_lookup_multicol(self):
+        keys = [np.array([1, 1, 2]), np.array([10, 20, 10])]
+        probes = [np.array([1, 2, 2]), np.array([20, 10, 99])]
+        assert list(lookup_rows(keys, probes)) == [1, 2, -1]
+
+    def test_follow_foreign_key(self):
+        db = self._db()
+        assert list(db.follow_foreign_key("FK")) == [1, 0, 2, 1]
+
+    def test_resolve_path_values(self):
+        db = self._db()
+        (vals,) = db.resolve_path_values("c", ("FK",), ["v"])
+        assert list(vals) == [2, 1, 3, 2]
+
+    def test_resolve_local(self):
+        db = self._db()
+        (vals,) = db.resolve_path_values("p", (), ["v"])
+        assert list(vals) == [1, 2, 3]
+
+    def test_missing_columns_rejected(self):
+        db = self._db()
+        with pytest.raises(ValueError):
+            db.add_table_data("p", {"id": np.array([1])})
+
+    def test_ragged_rejected(self):
+        db = self._db()
+        with pytest.raises(ValueError):
+            db.add_table_data("p", {"id": np.array([1]), "v": np.array([1, 2])})
+
+    def test_wrong_path_start_rejected(self):
+        db = self._db()
+        with pytest.raises(ValueError):
+            db.resolve_path_values("p", ("FK",), ["v"])
