@@ -41,7 +41,6 @@ def group_rows(key_columns: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarra
     num_groups)``; group numbering follows key sort order.
     """
     if not key_columns:
-        n = len(key_columns)  # no keys: single group
         raise ValueError("group_rows requires at least one key column")
     codes = np.zeros(len(key_columns[0]), dtype=np.int64)
     for column in key_columns:

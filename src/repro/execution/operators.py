@@ -1,0 +1,765 @@
+"""Physical operators: the executable form of a lowered query plan.
+
+Each operator is one node of a *physical plan* as emitted by
+:mod:`repro.planner.lowering`: the strategy decisions (merge vs sandwich
+vs hash join, streaming vs sandwich vs hash aggregation, scan pruning)
+are already resolved and recorded on the nodes — running a plan never
+re-plans.  Operators are composable batch transformers over
+:class:`~repro.execution.relation.Relation`; ``run`` recurses through
+``children`` and charges simulated IO/CPU/memory to the
+:class:`ExecutionContext`.
+
+The split matters for two reasons:
+
+* EXPLAIN can render a physical plan — with its per-operator strategy
+  rationale — without executing anything;
+* the same lowered plan can be run repeatedly (plan caching) and each
+  operator is a natural unit for per-operator metrics and, later,
+  parallel execution.
+
+Results are identical under every scheme and every strategy: the
+operators share the logical kernels in :mod:`repro.execution.join_utils`
+and :mod:`repro.execution.aggregate`; strategies differ in cost and
+memory accounting, exactly as in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.bits import gather_use_bits
+from ..storage.io_model import DiskModel
+from ..storage.stored_table import StoredTable
+from .aggregate import AggSpec, apply_aggregate, distinct_per_partition, group_rows
+from .cost import CostModel
+from .expressions import Col, Expr
+from .join_utils import (
+    encode_join_keys,
+    inner_join_pairs,
+    left_join_pairs,
+    semi_join_mask,
+)
+from .metrics import ExecutionMetrics
+from .relation import Relation, StreamUse
+
+__all__ = [
+    "ExecutionContext",
+    "PhysicalOp",
+    "PhysicalScan",
+    "PhysicalFilter",
+    "PhysicalProject",
+    "MergeJoin",
+    "HashJoin",
+    "SandwichJoin",
+    "HashAgg",
+    "StreamAgg",
+    "SandwichAgg",
+    "Sort",
+    "Limit",
+    "walk_physical",
+]
+
+_HASH_ENTRY_OVERHEAD = 16.0   # bytes per hash-table entry
+_AGG_STATE_BYTES = 8.0        # bytes per aggregate per group
+_GROUP_HEADER_BYTES = 32.0    # per-group bookkeeping of sandwiched operators
+
+
+class ExecutionContext:
+    """Shared runtime state of one plan execution: the simulated device,
+    the CPU cost model and the metrics being accumulated.
+
+    Memory reservations for blocking state (hash builds, aggregation
+    tables, sort buffers) are held until the end of the query,
+    approximating the concurrent footprint of a pipelined engine; the
+    peak is the paper's Figure 3 quantity."""
+
+    def __init__(self, disk: DiskModel, costs: CostModel, metrics: ExecutionMetrics):
+        self.disk = disk
+        self.costs = costs
+        self.metrics = metrics
+        self._live_reservations: List = []
+
+    def hold(self, tag: str, num_bytes: float) -> None:
+        if num_bytes > 0:
+            self._live_reservations.append(self.metrics.memory.allocate(tag, num_bytes))
+
+    def release_all(self) -> None:
+        for reservation in self._live_reservations:
+            reservation.release()
+        self._live_reservations = []
+
+
+@dataclass(eq=False)
+class PhysicalOp:
+    """Base class for physical plan nodes."""
+
+    kind = "Op"
+
+    def children(self) -> Tuple["PhysicalOp", ...]:
+        return ()
+
+    def run(self, ctx: ExecutionContext) -> Relation:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line structural description (no rationale)."""
+        return self.kind
+
+
+def walk_physical(op: PhysicalOp):
+    """Yield every operator of a physical plan, pre-order."""
+    yield op
+    for child in op.children():
+        yield from walk_physical(child)
+
+
+# ------------------------------------------------------------------ scan
+@dataclass(eq=False)
+class PhysicalScan(PhysicalOp):
+    """A table scan with all access-path decisions resolved at lowering:
+    the physical copy to read (replica selection), the demanded columns,
+    the count-table restrictions (pushdown + propagation), the zone-map
+    ranges that prune — with the resulting row selection already
+    materialised — and the BDCC uses to carry as hidden group columns
+    for downstream sandwich operators."""
+
+    table: str
+    alias: str
+    prefix: str
+    stored: StoredTable
+    demanded: Tuple[str, ...]
+    predicate: Optional[Expr] = None
+    #: (use_index, allowed_bins, bin_bits) count-table restrictions.
+    restrictions: Tuple[Tuple[int, np.ndarray, int], ...] = ()
+    #: (base_column, low, high) ranges whose zone maps prune blocks.
+    minmax_ranges: Tuple[Tuple[str, float, float], ...] = ()
+    #: rows selected by restrictions+minmax (None = full scan), resolved
+    #: once at lowering from metadata and reused on every run.
+    selected_rows: Optional[np.ndarray] = None
+    selection_notes: Tuple[str, ...] = ()
+    #: (use_index, effective_bits, hidden_column) BDCC uses to surface.
+    sandwich_uses: Tuple[Tuple[int, int, str], ...] = ()
+    sorted_on: Tuple[str, ...] = ()
+    est_rows: float = 0.0
+    rationale: str = ""
+    replica_note: str = ""
+
+    kind = "Scan"
+
+    def describe(self) -> str:
+        alias = "" if self.alias == self.table else f" as {self.alias}"
+        pred = " WHERE ..." if self.predicate is not None else ""
+        return f"Scan {self.table}{alias}{pred}"
+
+    def run(self, ctx: ExecutionContext) -> Relation:
+        if self.replica_note:
+            ctx.metrics.note(self.replica_note)
+        stored = self.stored
+        demanded = list(self.demanded)
+        n = stored.stored_rows
+        bdcc = stored.bdcc
+
+        # --- row selection (resolved at lowering from metadata) ----------
+        rows = self.selected_rows
+        note_bits = list(self.selection_notes)
+
+        # --- IO ----------------------------------------------------------
+        if rows is None:
+            runs = stored.full_scan_runs()
+            num_selected = n
+        else:
+            runs = _rows_to_runs(rows)
+            num_selected = len(rows)
+        run_bytes = stored.io_run_bytes(runs, demanded)
+        if bdcc is not None:
+            # the stored _bdcc_ column (needed for group ids) compresses
+            # to ~1 byte/tuple: the table is sorted on it, so RLE applies;
+            # plus the count table itself
+            for _, length in runs:
+                run_bytes.append(length * 1.0)
+            run_bytes.append(bdcc.count_table.num_entries * 8.0)
+        io_seconds = ctx.disk.time_for_runs(run_bytes)
+        ctx.metrics.charge_io(float(sum(run_bytes)), len(run_bytes), io_seconds)
+        ctx.metrics.rows_scanned += num_selected
+
+        # --- materialise -------------------------------------------------
+        prefix = self.prefix
+        if rows is None:
+            columns = {prefix + c: stored.columns[c] for c in demanded}
+        else:
+            columns = {prefix + c: stored.columns[c][rows] for c in demanded}
+        ctx.metrics.charge_cpu(
+            num_selected * len(demanded) * ctx.costs.scan_value, "scan"
+        )
+        owners = {name: self.alias for name in columns}
+        uses: List[StreamUse] = []
+        if self.sandwich_uses:
+            keys = bdcc.keys if rows is None else bdcc.keys[rows]
+            for use_index, eff_bits, column_name in self.sandwich_uses:
+                use = bdcc.uses[use_index]
+                # top eff_bits positions of the full mask == the use's
+                # bits that survive at count-table granularity
+                columns[column_name] = gather_use_bits(keys, use.mask, eff_bits)
+                uses.append(
+                    StreamUse(self.alias, use.dimension, use.path, eff_bits, column_name)
+                )
+            ctx.metrics.charge_cpu(
+                num_selected * ctx.costs.sandwich_row_overhead * max(len(uses), 1),
+                "scan",
+            )
+        rel = Relation(
+            columns=columns,
+            sorted_on=self.sorted_on,
+            uses=uses,
+            owners=owners,
+        )
+        if note_bits:
+            ctx.metrics.note(f"scan {self.alias}: " + ", ".join(note_bits))
+
+        # --- residual predicate ------------------------------------------
+        if self.predicate is not None:
+            mask = np.asarray(self.predicate.eval(rel), dtype=bool)
+            ctx.metrics.charge_cpu(
+                rel.num_rows * max(len(self.predicate.columns()), 1) * ctx.costs.expr_value,
+                "filter",
+            )
+            rel = rel.filter(mask)
+        return rel
+
+
+# ---------------------------------------------------------------- filter
+@dataclass(eq=False)
+class PhysicalFilter(PhysicalOp):
+    input: PhysicalOp
+    predicate: Expr
+    rationale: str = ""
+
+    kind = "Filter"
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.input,)
+
+    def run(self, ctx: ExecutionContext) -> Relation:
+        rel = self.input.run(ctx)
+        mask = np.asarray(self.predicate.eval(rel), dtype=bool)
+        ctx.metrics.charge_cpu(
+            rel.num_rows * max(len(self.predicate.columns()), 1) * ctx.costs.expr_value,
+            "filter",
+        )
+        return rel.filter(mask)
+
+
+# --------------------------------------------------------------- project
+@dataclass(eq=False)
+class PhysicalProject(PhysicalOp):
+    input: PhysicalOp
+    exprs: Tuple[Tuple[str, Expr], ...]
+    rationale: str = ""
+
+    kind = "Project"
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.input,)
+
+    def describe(self) -> str:
+        return f"Project [{', '.join(name for name, _ in self.exprs)}]"
+
+    def run(self, ctx: ExecutionContext) -> Relation:
+        rel = self.input.run(ctx)
+        columns: Dict[str, np.ndarray] = {}
+        owners: Dict[str, str] = {}
+        valid: Dict[str, np.ndarray] = {}
+        expr_cost = 0.0
+        for name, expr in self.exprs:
+            columns[name] = np.asarray(expr.eval(rel))
+            if not isinstance(expr, Col):
+                expr_cost += rel.num_rows * ctx.costs.expr_value
+            if isinstance(expr, Col):
+                if expr.name in rel.owners:
+                    owners[name] = rel.owners[expr.name]
+                if expr.name in rel.valid:
+                    valid[name] = rel.valid[expr.name]
+        ctx.metrics.charge_cpu(expr_cost, "project")
+        live_uses = [u for u in rel.uses if u.column in rel.columns]
+        for use in live_uses:
+            columns[use.column] = rel.columns[use.column]
+        sorted_on = rel.sorted_on if all(c in columns for c in rel.sorted_on) else ()
+        return Relation(
+            columns=columns, valid=valid, sorted_on=sorted_on, uses=live_uses, owners=owners
+        )
+
+
+# ----------------------------------------------------------------- joins
+@dataclass(eq=False)
+class _JoinOp(PhysicalOp):
+    left: PhysicalOp
+    right: PhysicalOp
+    left_cols: Tuple[str, ...]
+    right_cols: Tuple[str, ...]
+    how: str = "inner"
+    residual: Optional[Expr] = None
+    rationale: str = ""
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        on = ", ".join(f"{l}={r}" for l, r in zip(self.left_cols, self.right_cols))
+        extra = " + residual" if self.residual is not None else ""
+        return f"{self.kind} {self.how} ON {on}{extra}"
+
+    def _join_keys(self, left: Relation, right: Relation):
+        return encode_join_keys(
+            [left.column(c) for c in self.left_cols],
+            [right.column(c) for c in self.right_cols],
+        )
+
+
+@dataclass(eq=False)
+class MergeJoin(_JoinOp):
+    """Both inputs arrive ordered on the join keys (the PK scheme's
+    LINEITEM/ORDERS and PART/PARTSUPP cases); state-free."""
+
+    kind = "MergeJoin"
+
+    def run(self, ctx: ExecutionContext) -> Relation:
+        left = self.left.run(ctx)
+        right = self.right.run(ctx)
+        lkeys, rkeys = self._join_keys(left, right)
+        ctx.metrics.note(
+            f"merge join on {self.left_cols} ({self.how}, "
+            f"{left.num_rows}x{right.num_rows})"
+        )
+        ctx.metrics.charge_cpu(
+            (left.num_rows + right.num_rows) * ctx.costs.merge_row, "join"
+        )
+        if self.how in ("semi", "anti"):
+            matched = semi_join_mask(lkeys, rkeys)
+            keep = matched if self.how == "semi" else ~matched
+            ctx.metrics.charge_cpu(int(keep.sum()) * ctx.costs.join_output_row, "join")
+            return left.filter(keep)
+        lidx, ridx = inner_join_pairs(lkeys, rkeys)
+        ctx.metrics.charge_cpu(len(lidx) * ctx.costs.join_output_row, "join")
+        return _assemble_inner(left, right, lidx, ridx, order_from="left")
+
+
+@dataclass(eq=False)
+class HashJoin(_JoinOp):
+    """Plain hash join; the build side was fixed at lowering (a pipelined
+    engine builds on the smaller input and streams the larger one, which
+    is also what preserves the probe side's physical order)."""
+
+    build_side: str = "right"  # "left" | "right"
+
+    kind = "HashJoin"
+
+    # -- accounting hooks overridden by SandwichJoin ----------------------
+    def _state(self, ctx, left, right, build_rel, build_bytes) -> Tuple[float, int]:
+        ctx.metrics.note(
+            f"hash join on {self.left_cols} ({self.how}), build "
+            f"{build_rel.num_rows} rows / {build_bytes/1e6:.2f} MB"
+        )
+        return build_bytes, 1
+
+    def _extra_charges(self, ctx, left, right, num_groups) -> float:
+        return 0.0
+
+    def run(self, ctx: ExecutionContext) -> Relation:
+        left = self.left.run(ctx)
+        right = self.right.run(ctx)
+        lkeys, rkeys = self._join_keys(left, right)
+        costs = ctx.costs
+        how = self.how
+        build_is_left = self.build_side == "left"
+        build_rel = left if build_is_left else right
+        probe_rel = right if build_is_left else left
+        if how in ("semi", "anti"):
+            build_bytes = build_rel.row_bytes(list(self.right_cols)) * build_rel.num_rows
+        else:
+            build_bytes = build_rel.data_bytes()
+        build_bytes += _HASH_ENTRY_OVERHEAD * build_rel.num_rows
+
+        state_bytes, num_groups = self._state(ctx, left, right, build_rel, build_bytes)
+        ctx.hold(f"join:{self.left_cols}", state_bytes + num_groups * _GROUP_HEADER_BYTES)
+        factor = costs.cache_factor(state_bytes)
+        cpu = (
+            build_rel.num_rows * costs.hash_build_row * factor
+            + probe_rel.num_rows * costs.hash_probe_row * factor
+        )
+        cpu += self._extra_charges(ctx, left, right, num_groups)
+        ctx.metrics.charge_cpu(cpu, "join")
+
+        # ---- execute ----------------------------------------------------
+        if how == "inner":
+            # output follows the probe side's order, as a pipelined hash
+            # join does — this is what lets a later merge join see the
+            # PK scheme's key order through an earlier N:1 join
+            if build_is_left:
+                ridx, lidx = inner_join_pairs(rkeys, lkeys)
+                order_from = "right"
+            else:
+                lidx, ridx = inner_join_pairs(lkeys, rkeys)
+                order_from = "left"
+            if self.residual is not None:
+                joined = _assemble_inner(left, right, lidx, ridx, order_from)
+                mask = np.asarray(self.residual.eval(joined), dtype=bool)
+                ctx.metrics.charge_cpu(len(lidx) * costs.expr_value, "join")
+                joined = joined.filter(mask)
+                ctx.metrics.charge_cpu(joined.num_rows * costs.join_output_row, "join")
+                return joined
+            ctx.metrics.charge_cpu(len(lidx) * costs.join_output_row, "join")
+            return _assemble_inner(left, right, lidx, ridx, order_from)
+        if how == "left":
+            lidx, ridx = left_join_pairs(lkeys, rkeys)
+            ctx.metrics.charge_cpu(len(lidx) * costs.join_output_row, "join")
+            return _assemble_left(left, right, lidx, ridx)
+        if how in ("semi", "anti"):
+            if self.residual is not None:
+                lidx, ridx = inner_join_pairs(lkeys, rkeys)
+                joined_cols = dict(left.take(lidx).columns)
+                for name, arr in right.take(ridx).columns.items():
+                    joined_cols.setdefault(name, arr)
+                mask_pairs = np.asarray(self.residual.eval(joined_cols), dtype=bool)
+                ctx.metrics.charge_cpu(len(lidx) * costs.expr_value, "join")
+                matched = np.zeros(left.num_rows, dtype=bool)
+                matched[lidx[mask_pairs]] = True
+            else:
+                matched = semi_join_mask(lkeys, rkeys)
+            keep = matched if how == "semi" else ~matched
+            ctx.metrics.charge_cpu(int(keep.sum()) * costs.join_output_row, "join")
+            return left.filter(keep)
+        raise AssertionError(how)
+
+
+@dataclass(eq=False)
+class SandwichJoin(HashJoin):
+    """Hash join over co-clustered inputs: per-group hash tables sized by
+    the largest group rather than the full build side [3].  ``pairs``
+    holds the matched dimension uses with the group bits granted to each
+    at lowering (capped by ``max_sandwich_bits``)."""
+
+    #: (left_use, right_use, granted_bits) per co-clustered dimension.
+    pairs: Tuple[Tuple[StreamUse, StreamUse, int], ...] = ()
+
+    kind = "SandwichJoin"
+
+    def _state(self, ctx, left, right, build_rel, build_bytes) -> Tuple[float, int]:
+        """Per-group peak state and group count of the sandwiched build."""
+        build_is_left = self.build_side == "left"
+        build_gid = np.zeros(build_rel.num_rows, dtype=np.uint64)
+        total_bits = 0
+        for left_use, right_use, g in self.pairs:
+            if g <= 0:
+                continue
+            total_bits += g
+            use = left_use if build_is_left else right_use
+            rel = left if build_is_left else right
+            vals = rel.columns[use.column] >> np.uint64(use.bits - g)
+            build_gid = (build_gid << np.uint64(g)) | vals
+        if total_bits == 0 or len(build_gid) == 0:
+            return build_bytes, 1
+        _, counts = np.unique(build_gid, return_counts=True)
+        build_rows = max(len(build_gid), 1)
+        per_row = build_bytes / build_rows
+        state_bytes = float(counts.max()) * per_row
+        num_groups = len(counts)
+        ctx.metrics.note(
+            f"sandwich join on {self.left_cols} via "
+            + "+".join(p[0].dimension.name for p in self.pairs)
+            + f" @{total_bits} bits: {num_groups} groups, "
+            f"max group {state_bytes/1e6:.3f} MB (full build {build_bytes/1e6:.2f} MB)"
+        )
+        ctx.metrics.bump("sandwich_joins")
+        return state_bytes, num_groups
+
+    def _extra_charges(self, ctx, left, right, num_groups) -> float:
+        # scatter-order delivery of both inputs: one random access per
+        # group run instead of a straight sequential pass
+        ctx.metrics.charge_io(0.0, 2 * num_groups, 2 * num_groups * ctx.disk.access_latency)
+        return (
+            num_groups * ctx.costs.sandwich_group_overhead
+            + (left.num_rows + right.num_rows) * ctx.costs.sandwich_row_overhead
+        )
+
+
+# ----------------------------------------------------- join assembly
+def _assemble_inner(left, right, lidx, ridx, order_from: str) -> Relation:
+    lpart = left.take(lidx, keep_sorted=order_from == "left")
+    rpart = right.take(ridx, keep_sorted=order_from == "right")
+    columns = dict(lpart.columns)
+    valid = dict(lpart.valid)
+    for name, arr in rpart.columns.items():
+        if name not in columns:
+            columns[name] = arr
+    for name, mask in rpart.valid.items():
+        if name not in valid:
+            valid[name] = mask
+    owners = dict(left.owners)
+    owners.update(right.owners)
+    uses = list(lpart.uses) + [u for u in rpart.uses if u.column in columns]
+    return Relation(
+        columns=columns,
+        valid=valid,
+        sorted_on=lpart.sorted_on if order_from == "left" else rpart.sorted_on,
+        uses=uses,
+        owners=owners,
+    )
+
+
+def _assemble_left(left, right, lidx, ridx) -> Relation:
+    matched = ridx >= 0
+    safe_ridx = np.where(matched, ridx, 0)
+    lpart = left.take(lidx, keep_sorted=True)
+    if right.num_rows == 0:
+        # nothing to gather: null-extend with typed placeholders
+        rpart = Relation(
+            columns={
+                name: np.zeros(len(lidx), dtype=arr.dtype)
+                for name, arr in right.columns.items()
+            },
+            owners=dict(right.owners),
+        )
+    else:
+        rpart = right.take(safe_ridx)
+    columns = dict(lpart.columns)
+    valid = dict(lpart.valid)
+    for name, arr in rpart.columns.items():
+        if name not in columns:
+            columns[name] = arr
+            prior = rpart.valid.get(name)
+            valid[name] = matched if prior is None else (matched & prior)
+    owners = dict(left.owners)
+    owners.update(right.owners)
+    # right-side uses are not valid on unmatched rows; drop them
+    uses = list(lpart.uses)
+    return Relation(
+        columns=columns, valid=valid, sorted_on=lpart.sorted_on, uses=uses, owners=owners
+    )
+
+
+# ----------------------------------------------------------- aggregation
+@dataclass(eq=False)
+class _AggOp(PhysicalOp):
+    input: PhysicalOp
+    keys: Tuple[str, ...] = ()
+    aggs: Tuple[AggSpec, ...] = ()
+    rationale: str = ""
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.input,)
+
+    def describe(self) -> str:
+        aggs = ", ".join(f"{s.name}={s.fn}" for s in self.aggs)
+        keys = ", ".join(self.keys) if self.keys else "<scalar>"
+        return f"{self.kind} [{keys}] -> {aggs}"
+
+    # ---------------------------------------------------- shared plumbing
+    def _group(self, rel: Relation):
+        n = rel.num_rows
+        if self.keys:
+            key_arrays = [rel.column(k) for k in self.keys]
+            if n:
+                return group_rows(key_arrays)
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), 0
+        group_index = np.zeros(n, dtype=np.int64)
+        first_rows = np.zeros(1 if n else 0, dtype=np.int64)
+        return group_index, first_rows, 1 if n else 0
+
+    def _state_row(self, rel: Relation) -> float:
+        return (
+            (rel.row_bytes(list(self.keys)) if self.keys else 0.0)
+            + len(self.aggs) * _AGG_STATE_BYTES
+            + _HASH_ENTRY_OVERHEAD
+        )
+
+    def _account(self, ctx, rel, group_index, num_groups, state_row) -> List[StreamUse]:
+        """Strategy-specific cost/memory accounting; returns the stream
+        uses the output carries."""
+        raise NotImplementedError
+
+    def run(self, ctx: ExecutionContext) -> Relation:
+        rel = self.input.run(ctx)
+        n = rel.num_rows
+        group_index, first_rows, num_groups = self._group(rel)
+        state_row = self._state_row(rel)
+        out_uses = self._account(ctx, rel, group_index, num_groups, state_row)
+
+        # ---- execute (strategy-independent kernels) ---------------------
+        columns: Dict[str, np.ndarray] = {}
+        owners: Dict[str, str] = {}
+        for key in self.keys:
+            columns[key] = rel.column(key)[first_rows]
+            if key in rel.owners:
+                owners[key] = rel.owners[key]
+        for spec in self.aggs:
+            values = None
+            valid = None
+            if spec.expr is not None:
+                values = np.asarray(spec.expr.eval(rel))
+                if isinstance(spec.expr, Col):
+                    valid = rel.valid.get(spec.expr.name)
+                ctx.metrics.charge_cpu(n * ctx.costs.expr_value, "aggregate")
+            elif spec.fn == "count":
+                pass
+            if num_groups == 0:
+                columns[spec.name] = np.zeros(0)
+                continue
+            columns[spec.name] = apply_aggregate(spec, group_index, num_groups, values, valid)
+
+        for use in out_uses:
+            columns[use.column] = rel.columns[use.column][first_rows]
+        return Relation(
+            columns=columns,
+            sorted_on=tuple(self.keys),
+            uses=list(out_uses),
+            owners=owners,
+        )
+
+
+@dataclass(eq=False)
+class HashAgg(_AggOp):
+    kind = "HashAgg"
+
+    def _account(self, ctx, rel, group_index, num_groups, state_row) -> List[StreamUse]:
+        total_state = num_groups * state_row
+        ctx.hold("agg:hash", total_state)
+        factor = ctx.costs.cache_factor(total_state)
+        ctx.metrics.charge_cpu(rel.num_rows * ctx.costs.agg_update_row * factor, "aggregate")
+        if self.keys:
+            ctx.metrics.note(
+                f"hash aggregation on {self.keys}: {num_groups} groups, "
+                f"{total_state/1e6:.2f} MB"
+            )
+        return []
+
+
+@dataclass(eq=False)
+class StreamAgg(_AggOp):
+    """The input arrives ordered on (a functional determinant of) the
+    grouping keys: one live group at a time."""
+
+    kind = "StreamAgg"
+
+    def _account(self, ctx, rel, group_index, num_groups, state_row) -> List[StreamUse]:
+        ctx.metrics.note(f"streaming aggregation on {self.keys}")
+        ctx.metrics.charge_cpu(rel.num_rows * ctx.costs.stream_agg_row, "aggregate")
+        ctx.hold("agg:stream", state_row)  # one live group
+        return []
+
+
+@dataclass(eq=False)
+class SandwichAgg(_AggOp):
+    """The grouping keys functionally determine carried dimension uses
+    (the paper's Q13/Q18 effect): the aggregation pre-partitions along
+    those groups and holds only the largest partition's table."""
+
+    #: (use, granted_bits) per carried dimension, capped at lowering.
+    partition_uses: Tuple[Tuple[StreamUse, int], ...] = ()
+
+    kind = "SandwichAgg"
+
+    def _account(self, ctx, rel, group_index, num_groups, state_row) -> List[StreamUse]:
+        n = rel.num_rows
+        pid = np.zeros(n, dtype=np.uint64)
+        total_bits = 0
+        for use, g in self.partition_uses:
+            if g <= 0:
+                continue
+            pid = (pid << np.uint64(g)) | (rel.columns[use.column] >> np.uint64(use.bits - g))
+            total_bits += g
+        per_part = distinct_per_partition(pid, group_index)
+        max_state = float(per_part.max()) * state_row if len(per_part) else 0.0
+        num_partitions = len(per_part)
+        ctx.hold("agg:sandwich", max_state + num_partitions * _GROUP_HEADER_BYTES)
+        factor = ctx.costs.cache_factor(max_state)
+        ctx.metrics.charge_cpu(
+            n * ctx.costs.agg_update_row * factor
+            + num_partitions * ctx.costs.sandwich_group_overhead
+            + n * ctx.costs.sandwich_row_overhead,
+            "aggregate",
+        )
+        ctx.metrics.charge_io(0.0, num_partitions, num_partitions * ctx.disk.access_latency)
+        ctx.metrics.note(
+            f"sandwich aggregation on {self.keys} via "
+            + "+".join(u.dimension.name for u, _ in self.partition_uses)
+            + f": {num_partitions} partitions, max state "
+            f"{max_state/1e6:.3f} MB (full {num_groups * state_row/1e6:.2f} MB)"
+        )
+        ctx.metrics.bump("sandwich_aggs")
+        return [use for use, _ in self.partition_uses]
+
+
+# ------------------------------------------------------------ sort/limit
+@dataclass(eq=False)
+class Sort(PhysicalOp):
+    input: PhysicalOp
+    keys: Tuple[Tuple[str, bool], ...] = ()
+    rationale: str = ""
+
+    kind = "Sort"
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.input,)
+
+    def describe(self) -> str:
+        keys = ", ".join(f"{c}{'' if asc else ' desc'}" for c, asc in self.keys)
+        return f"Sort [{keys}]"
+
+    def run(self, ctx: ExecutionContext) -> Relation:
+        rel = self.input.run(ctx)
+        n = rel.num_rows
+        if n:
+            sort_keys = []
+            for column, ascending in reversed(self.keys):
+                values = rel.column(column)
+                if not ascending:
+                    if values.dtype.kind in "iuf":
+                        values = -values.astype(np.float64)
+                    else:
+                        _, codes = np.unique(values, return_inverse=True)
+                        values = -codes
+                sort_keys.append(values)
+            order = np.lexsort(tuple(sort_keys))
+            rel = rel.take(order)
+        ctx.hold("sort", rel.data_bytes())
+        ctx.metrics.charge_cpu(
+            n * max(math.log2(max(n, 2)), 1.0) * ctx.costs.sort_row, "sort"
+        )
+        if all(asc for _, asc in self.keys):
+            rel.sorted_on = tuple(c for c, _ in self.keys)
+        return rel
+
+
+@dataclass(eq=False)
+class Limit(PhysicalOp):
+    input: PhysicalOp
+    count: int = 0
+    rationale: str = ""
+
+    kind = "Limit"
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.input,)
+
+    def describe(self) -> str:
+        return f"Limit {self.count}"
+
+    def run(self, ctx: ExecutionContext) -> Relation:
+        rel = self.input.run(ctx)
+        if rel.num_rows > self.count:
+            rel = rel.take(np.arange(self.count), keep_sorted=True)
+        return rel
+
+
+def _rows_to_runs(rows: np.ndarray) -> List[Tuple[int, int]]:
+    """Sorted row indices -> (start, length) runs."""
+    if len(rows) == 0:
+        return []
+    breaks = np.flatnonzero(np.diff(rows) != 1)
+    starts = np.concatenate([[0], breaks + 1])
+    ends = np.concatenate([breaks, [len(rows) - 1]])
+    return [(int(rows[s]), int(rows[e] - rows[s] + 1)) for s, e in zip(starts, ends)]

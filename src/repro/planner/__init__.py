@@ -1,8 +1,9 @@
-"""Logical plans, plan analysis, propagation rewrite and the executor."""
+"""Logical plans, plan analysis, propagation, lowering and execution."""
 
 from .analysis import FKEdge, PlanAnalysis, analyse_plan
 from .executor import ExecutionOptions, Executor, QueryResult
-from .explain import explain, format_plan
+from .explain import explain, format_physical_plan, format_plan
+from .lowering import PhysicalPlan, lower
 from .logical import (
     FilterNode,
     GroupByNode,
@@ -27,7 +28,10 @@ __all__ = [
     "Executor",
     "QueryResult",
     "explain",
+    "format_physical_plan",
     "format_plan",
+    "PhysicalPlan",
+    "lower",
     "FilterNode",
     "GroupByNode",
     "JoinNode",

@@ -1,81 +1,39 @@
-"""Plan execution with scheme-aware strategy selection and cost modelling.
+"""Plan execution: lower once, then run the physical plan.
 
-The :class:`Executor` interprets a logical plan against one
-:class:`~repro.schemes.base.PhysicalDatabase`.  Results are identical
-under every scheme (the integration tests assert this for all 22 TPC-H
-queries); what changes is *how* and at what cost:
+The :class:`Executor` glues the two halves of the engine together for
+one :class:`~repro.schemes.base.PhysicalDatabase`:
 
-* **Scans** read only demanded columns; BDCC scans prune count-table
-  groups (selection pushdown + propagation), every scan prunes page
-  blocks through MinMax indices; IO is charged through the disk model.
-* **Joins** pick merge (both inputs ordered — the PK scheme's
-  LINEITEM/ORDERS and PART/PARTSUPP cases), sandwich (co-clustered
-  streams sharing a dimension over the join's foreign key — per-group
-  hash tables) or plain hash.
-* **Aggregations** pick streaming (input ordered on the keys), sandwich
-  (keys functionally determine a carried dimension use — the paper's
-  Q13/Q18 discussion) or plain hash.
+* :func:`repro.planner.lowering.lower` turns the logical plan into a
+  typed physical plan — every strategy decision (merge/sandwich/hash
+  joins, streaming/sandwich/hash aggregation, scan pruning, replica
+  choice) resolved and recorded on the operators;
+* :mod:`repro.execution.operators` runs that plan, charging simulated
+  IO/CPU time and tracking the peak of concurrently live operator
+  memory (the paper's Figure 3 quantity).
 
-Memory reservations for blocking state (hash builds, aggregation tables,
-sort buffers) are held until the end of the query, approximating the
-concurrent footprint of a pipelined engine; the peak is the Figure 3
-quantity.
+Results are identical under every scheme (the integration tests assert
+this for all 22 TPC-H queries); what changes is the physical plan and
+its cost.  Because lowering is pure and deterministic, lowered plans are
+cached per logical plan and can be inspected (``EXPLAIN``) or re-run
+without re-planning.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
-import numpy as np
-
-from ..core.bits import gather_use_bits, truncate_mask
-from ..execution.aggregate import AggSpec, apply_aggregate, distinct_per_partition, group_rows
 from ..execution.cost import DEFAULT_COSTS, CostModel
-from ..execution.expressions import Col, Expr
-from ..execution.join_utils import (
-    encode_join_keys,
-    inner_join_pairs,
-    left_join_pairs,
-    semi_join_mask,
-)
 from ..execution.metrics import ExecutionMetrics
-from ..execution.relation import Relation, StreamUse
+from ..execution.operators import ExecutionContext
+from ..execution.relation import Relation
 from ..schemes.base import PhysicalDatabase
 from ..storage.io_model import PAPER_SSD, DiskModel
-from .analysis import PlanAnalysis, analyse_plan, strip_prefix
-from .logical import (
-    FilterNode,
-    GroupByNode,
-    JoinNode,
-    LimitNode,
-    Plan,
-    PlanNode,
-    ProjectNode,
-    ScanNode,
-    SortNode,
-)
-from .predicates import column_ranges
-from .propagation import compute_restrictions
+from .lowering import ExecutionOptions, PhysicalPlan, lower
 
 __all__ = ["ExecutionOptions", "QueryResult", "Executor"]
 
-_HASH_ENTRY_OVERHEAD = 16.0   # bytes per hash-table entry
-_AGG_STATE_BYTES = 8.0        # bytes per aggregate per group
-_GROUP_HEADER_BYTES = 32.0    # per-group bookkeeping of sandwiched operators
-
-
-@dataclass
-class ExecutionOptions:
-    """Feature switches (for ablations) and sandwich tuning."""
-
-    enable_pushdown: bool = True      # BDCC group pruning from local predicates
-    enable_propagation: bool = True   # ... and from co-clustered neighbours
-    enable_minmax: bool = True        # zone-map page pruning
-    enable_sandwich: bool = True      # pre-grouped joins/aggregations
-    enable_merge: bool = True         # merge joins on ordered inputs
-    max_sandwich_bits: int = 8        # cap on combined sandwich group bits
+_PLAN_CACHE_SIZE = 32
 
 
 @dataclass
@@ -100,784 +58,38 @@ class Executor:
         self.disk = disk or PAPER_SSD
         self.costs = costs or DEFAULT_COSTS
         self.options = options or ExecutionOptions()
+        #: (plan node, options key) -> PhysicalPlan; keyed by node
+        #: *identity* (logical plans may hold unhashable expressions).
+        self._plan_cache: List[Tuple[object, tuple, PhysicalPlan]] = []
 
-    # ------------------------------------------------------------ driving
-    def execute(self, plan) -> QueryResult:
+    # ----------------------------------------------------------- planning
+    def lower(self, plan) -> PhysicalPlan:
+        """Lower a logical plan (cached; pure — runs nothing)."""
+        from .logical import Plan
+
         node = plan.node if isinstance(plan, Plan) else plan
+        key = self.options.cache_key()
+        for cached_node, cached_key, pplan in self._plan_cache:
+            if cached_node is node and cached_key == key:
+                return pplan
+        pplan = lower(self.pdb, node, self.options)
+        self._plan_cache.append((node, key, pplan))
+        if len(self._plan_cache) > _PLAN_CACHE_SIZE:
+            self._plan_cache.pop(0)
+        return pplan
+
+    # ------------------------------------------------------------ running
+    def run(self, pplan: PhysicalPlan) -> QueryResult:
+        """Execute an already-lowered physical plan."""
         self.metrics = ExecutionMetrics()
-        self._live_reservations = []
-        self._analysis: PlanAnalysis = analyse_plan(node, self.pdb.schema)
-        self._restrictions = {}
-        self._replica_choice = {}
-        if self.options.enable_pushdown:
-            bdcc_tables = self.pdb.bdcc_tables()
-            if bdcc_tables:
-                alias_tables = {a: s.table for a, s in self._analysis.scans.items()}
-                self._restrictions = compute_restrictions(
-                    self.pdb.database,
-                    self._analysis,
-                    bdcc_tables,
-                    alias_tables,
-                    local_only=not self.options.enable_propagation,
-                )
-                self._choose_replicas(bdcc_tables, alias_tables)
-        relation = self._run(node)
+        ctx = ExecutionContext(self.disk, self.costs, self.metrics)
+        relation = pplan.root.run(ctx)
         self.metrics.rows_produced = relation.num_rows
-        for reservation in self._live_reservations:
-            reservation.release()
+        ctx.release_all()
         return QueryResult(relation, self.metrics)
 
-    def _choose_replicas(self, bdcc_tables, alias_tables) -> None:
-        """Per scan, pick the physical copy whose count-table groups the
-        query's restrictions prune hardest (future-work (ii): which
-        dimensions to use for which replica)."""
-        if not self.pdb.replicas:
-            return
-        for alias, scan_node in self._analysis.scans.items():
-            copies = self.pdb.replicas.get(scan_node.table)
-            if not copies:
-                continue
-            primary = self.pdb.table(scan_node.table)
-            candidates = [(primary, self._restrictions.get(alias, []))]
-            for copy in copies:
-                variant = dict(bdcc_tables)
-                variant[scan_node.table] = copy.bdcc
-                restr = compute_restrictions(
-                    self.pdb.database,
-                    self._analysis,
-                    variant,
-                    alias_tables,
-                    local_only=not self.options.enable_propagation,
-                )
-                candidates.append((copy, restr.get(alias, [])))
-
-            def selected_fraction(candidate):
-                stored, restrictions = candidate
-                if stored.bdcc is None or not restrictions:
-                    return 1.0
-                entries = stored.bdcc.entries_matching(restrictions)
-                rows = float(stored.bdcc.count_table.counts[entries].sum())
-                return rows / max(stored.bdcc.logical_rows, 1)
-
-            best = min(candidates, key=selected_fraction)
-            if best[0] is not primary:
-                index = next(i for i, c in enumerate(copies) if c is best[0])
-                self._replica_choice[alias] = best
-                self.metrics.note(
-                    f"scan {alias}: replica #{index + 1} selected "
-                    f"({selected_fraction(best):.0%} of rows vs "
-                    f"{selected_fraction(candidates[0]):.0%} on the primary)"
-                )
-
-    def _hold(self, tag: str, num_bytes: float) -> None:
-        if num_bytes > 0:
-            self._live_reservations.append(self.metrics.memory.allocate(tag, num_bytes))
-
-    # ----------------------------------------------------------- dispatch
-    def _run(self, node: PlanNode) -> Relation:
-        if isinstance(node, ScanNode):
-            return self._run_scan(node)
-        if isinstance(node, FilterNode):
-            return self._run_filter(node)
-        if isinstance(node, ProjectNode):
-            return self._run_project(node)
-        if isinstance(node, JoinNode):
-            return self._run_join(node)
-        if isinstance(node, GroupByNode):
-            return self._run_groupby(node)
-        if isinstance(node, SortNode):
-            return self._run_sort(node)
-        if isinstance(node, LimitNode):
-            return self._run_limit(node)
-        raise TypeError(f"unknown node {type(node).__name__}")
-
-    # --------------------------------------------------------------- scan
-    def _run_scan(self, node: ScanNode) -> Relation:
-        chosen = self._replica_choice.get(node.alias)
-        if chosen is not None:
-            stored, chosen_restrictions = chosen
-        else:
-            stored = self.pdb.table(node.table)
-            chosen_restrictions = self._restrictions.get(node.alias, [])
-        wanted = self._analysis.demands.get(node.alias, set())
-        demanded = [c for c in stored.definition.column_names if c in wanted]
-        if not demanded:  # count-only scans still need one column
-            demanded = [stored.definition.column_names[0]]
-        n = stored.stored_rows
-        bdcc = stored.bdcc
-
-        # --- row selection -------------------------------------------------
-        note_bits: List[str] = []
-        if bdcc is not None:
-            restrictions = chosen_restrictions
-            if restrictions:
-                entries = bdcc.entries_matching(restrictions)
-                note_bits.append(
-                    f"pushdown {len(entries)}/{bdcc.count_table.num_groups} groups"
-                )
-            else:
-                entries = bdcc.all_entries()
-            rows = bdcc.count_table.rows_for_entries(entries)
-        else:
-            rows = None  # all rows, in storage order
-
-        if self.options.enable_minmax and node.predicate is not None and n > 0:
-            mask = self._minmax_mask(stored, node)
-            if mask is not None:
-                if rows is None:
-                    rows = np.flatnonzero(mask)
-                else:
-                    rows = rows[mask[rows]]
-                note_bits.append(
-                    f"minmax {np.count_nonzero(mask)}/{n} rows"
-                )
-
-        # --- IO ------------------------------------------------------------
-        if rows is None:
-            runs = stored.full_scan_runs()
-            num_selected = n
-        else:
-            runs = _rows_to_runs(rows)
-            num_selected = len(rows)
-        run_bytes = stored.io_run_bytes(runs, demanded)
-        if bdcc is not None:
-            # the stored _bdcc_ column (needed for group ids) compresses
-            # to ~1 byte/tuple: the table is sorted on it, so RLE applies;
-            # plus the count table itself
-            for _, length in runs:
-                run_bytes.append(length * 1.0)
-            run_bytes.append(bdcc.count_table.num_entries * 8.0)
-        io_seconds = self.disk.time_for_runs(run_bytes)
-        self.metrics.charge_io(float(sum(run_bytes)), len(run_bytes), io_seconds)
-        self.metrics.rows_scanned += num_selected
-
-        # --- materialise -----------------------------------------------------
-        prefix = node.prefix
-        if rows is None:
-            columns = {prefix + c: stored.columns[c] for c in demanded}
-        else:
-            columns = {prefix + c: stored.columns[c][rows] for c in demanded}
-        self.metrics.charge_cpu(
-            num_selected * len(demanded) * self.costs.scan_value, "scan"
-        )
-        owners = {name: node.alias for name in columns}
-        uses: List[StreamUse] = []
-        if bdcc is not None and self.options.enable_sandwich:
-            keys = bdcc.keys if rows is None else bdcc.keys[rows]
-            for idx, use in enumerate(bdcc.uses):
-                eff_bits = bdcc.effective_bits(idx)
-                if eff_bits == 0:
-                    continue
-                # top eff_bits positions of the full mask == the use's
-                # bits that survive at count-table granularity
-                column_name = f"__grp__{node.alias}__{idx}"
-                columns[column_name] = gather_use_bits(keys, use.mask, eff_bits)
-                uses.append(
-                    StreamUse(node.alias, use.dimension, use.path, eff_bits, column_name)
-                )
-            self.metrics.charge_cpu(
-                num_selected * self.costs.sandwich_row_overhead * max(len(uses), 1),
-                "scan",
-            )
-        rel = Relation(
-            columns=columns,
-            sorted_on=tuple(prefix + c for c in stored.sort_columns),
-            uses=uses,
-            owners=owners,
-        )
-        if note_bits:
-            self.metrics.note(f"scan {node.alias}: " + ", ".join(note_bits))
-
-        # --- residual predicate ---------------------------------------------
-        if node.predicate is not None:
-            mask = np.asarray(node.predicate.eval(rel), dtype=bool)
-            self.metrics.charge_cpu(
-                rel.num_rows * max(len(node.predicate.columns()), 1) * self.costs.expr_value,
-                "filter",
-            )
-            rel = rel.filter(mask)
-        return rel
-
-    def _minmax_mask(self, stored, node: ScanNode) -> Optional[np.ndarray]:
-        """Row mask from zone maps over the scan's range predicates, or
-        None when nothing prunes."""
-        ranges = column_ranges(node.predicate)
-        mask: Optional[np.ndarray] = None
-        n = stored.stored_rows
-        for column, (low, high) in ranges.items():
-            base = strip_prefix(column, node.prefix)
-            if base not in stored.columns:
-                continue
-            values = stored.columns[base]
-            if values.dtype.kind not in "iuf":
-                continue
-            index = stored.minmax_for(base)
-            keep_blocks = index.blocks_overlapping(low, high)
-            if keep_blocks.all():
-                continue
-            block_of_row = np.arange(n) // index.block_rows
-            row_keep = keep_blocks[block_of_row]
-            mask = row_keep if mask is None else (mask & row_keep)
-        return mask
-
-    # ------------------------------------------------------------- filter
-    def _run_filter(self, node: FilterNode) -> Relation:
-        rel = self._run(node.input)
-        mask = np.asarray(node.predicate.eval(rel), dtype=bool)
-        self.metrics.charge_cpu(
-            rel.num_rows * max(len(node.predicate.columns()), 1) * self.costs.expr_value,
-            "filter",
-        )
-        return rel.filter(mask)
-
-    # ------------------------------------------------------------ project
-    def _run_project(self, node: ProjectNode) -> Relation:
-        rel = self._run(node.input)
-        columns: Dict[str, np.ndarray] = {}
-        owners: Dict[str, str] = {}
-        valid: Dict[str, np.ndarray] = {}
-        expr_cost = 0.0
-        for name, expr in node.exprs:
-            columns[name] = np.asarray(expr.eval(rel))
-            if not isinstance(expr, Col):
-                expr_cost += rel.num_rows * self.costs.expr_value
-            if isinstance(expr, Col):
-                if expr.name in rel.owners:
-                    owners[name] = rel.owners[expr.name]
-                if expr.name in rel.valid:
-                    valid[name] = rel.valid[expr.name]
-        self.metrics.charge_cpu(expr_cost, "project")
-        live_uses = [u for u in rel.uses if u.column in rel.columns]
-        for use in live_uses:
-            columns[use.column] = rel.columns[use.column]
-        sorted_on = rel.sorted_on if all(c in columns for c in rel.sorted_on) else ()
-        return Relation(
-            columns=columns, valid=valid, sorted_on=sorted_on, uses=live_uses, owners=owners
-        )
-
-    # --------------------------------------------------------------- join
-    def _run_join(self, node: JoinNode) -> Relation:
-        left = self._run(node.left)
-        right = self._run(node.right)
-        lkeys, rkeys = encode_join_keys(
-            [left.column(c) for c in node.left_cols],
-            [right.column(c) for c in node.right_cols],
-        )
-        sandwich_pairs: List[Tuple[StreamUse, StreamUse]] = []
-        if self.options.enable_sandwich:
-            sandwich_pairs = self._match_uses(left, right, node)
-
-        k = len(node.left_cols)
-        merge_ok = (
-            self.options.enable_merge
-            and node.how in ("inner", "semi", "anti")
-            and node.residual is None
-            and len(left.sorted_on) >= k
-            and len(right.sorted_on) >= k
-            and tuple(left.sorted_on[:k]) == tuple(node.left_cols)
-            and tuple(right.sorted_on[:k]) == tuple(node.right_cols)
-        )
-
-        if merge_ok:
-            return self._merge_join(node, left, right, lkeys, rkeys)
-        if sandwich_pairs:
-            return self._hash_join(node, left, right, lkeys, rkeys, sandwich_pairs)
-        return self._hash_join(node, left, right, lkeys, rkeys, [])
-
-    def _use_anchors(self, rel: Relation, join_cols: Tuple[str, ...], other_cols: Tuple[str, ...]):
-        """Dimension uses of ``rel`` whose group is determined by (a subset
-        of) the join columns, with their co-clustering identity.
-
-        Two flavours per Section II of the paper:
-
-        * *via a foreign key*: the join columns cover an outgoing FK's
-          child columns and the use's path starts with that FK — the key
-          value determines the referenced row, hence the use's bins.  The
-          anchor identity is (dimension, path-after-the-FK, referenced
-          table+key, the other side's columns carrying that key).
-        * *the table itself hosts the key*: the join columns cover the
-          table's primary key — the row is fixed, every carried use
-          qualifies, identified by its full path.
-
-        Anchors with equal identities on both sides are co-clustered even
-        when the two tables are not FK-connected at all (the paper's
-        tables A and C sharing D1), which covers fact-fact self joins
-        (Q21) and composite-key joins (LINEITEM-PARTSUPP in Q9).
-        """
-        schema = self.pdb.schema
-        by_alias: Dict[str, List[int]] = {}
-        for pos, column in enumerate(join_cols):
-            alias = rel.owners.get(column)
-            if alias is not None:
-                by_alias.setdefault(alias, []).append(pos)
-        anchors = []
-        for alias, positions in by_alias.items():
-            scan = self._analysis.scans.get(alias)
-            if scan is None:
-                continue
-            base_to_other = {
-                strip_prefix(join_cols[p], scan.prefix): other_cols[p] for p in positions
-            }
-            base_to_self = {
-                strip_prefix(join_cols[p], scan.prefix): join_cols[p] for p in positions
-            }
-            table = schema.table(scan.table)
-            # via an outgoing foreign key covered by the join columns
-            for fk in schema.outgoing_foreign_keys(scan.table):
-                if not set(fk.child_columns) <= set(base_to_other):
-                    continue
-                own = tuple(base_to_self[c] for c in fk.child_columns)
-                carrier = tuple(base_to_other[c] for c in fk.child_columns)
-                for use in rel.uses_for_alias(alias):
-                    if use.path and use.path[0] == fk.name:
-                        identity = (
-                            use.dimension.name, use.path[1:],
-                            fk.parent_table, fk.parent_columns,
-                        )
-                        anchors.append((identity, own, carrier, use))
-            # the table itself is the referenced side (join on its PK)
-            if table.primary_key and set(table.primary_key) <= set(base_to_other):
-                own = tuple(base_to_self[c] for c in table.primary_key)
-                carrier = tuple(base_to_other[c] for c in table.primary_key)
-                for use in rel.uses_for_alias(alias):
-                    identity = (
-                        use.dimension.name, use.path,
-                        scan.table, tuple(table.primary_key),
-                    )
-                    anchors.append((identity, own, carrier, use))
-        return anchors
-
-    def _match_uses(
-        self, left: Relation, right: Relation, node: JoinNode
-    ) -> List[Tuple[StreamUse, StreamUse]]:
-        """Pairs of co-clustered dimension uses across the join inputs.
-
-        A left anchor and a right anchor match when they denote the same
-        dimension over the same residual path anchored at the same
-        referenced key, *and* the key travels over the same join columns
-        — then equal join keys imply equal dimension bins on both sides,
-        the precondition for sandwiched (pre-grouped) execution [3].
-        """
-        left_anchors = self._use_anchors(left, node.left_cols, node.right_cols)
-        right_anchors = self._use_anchors(right, node.right_cols, node.left_cols)
-        pairs: List[Tuple[StreamUse, StreamUse]] = []
-        seen = set()
-        for l_identity, l_own, l_carrier, left_use in left_anchors:
-            for r_identity, r_own, r_carrier, right_use in right_anchors:
-                if l_identity != r_identity:
-                    continue
-                # the key must travel over the same join-column pairing
-                if l_carrier != r_own or r_carrier != l_own:
-                    continue
-                if l_identity in seen:
-                    continue
-                seen.add(l_identity)
-                pairs.append((left_use, right_use))
-                break
-        return pairs
-
-    # ----------------------------------------------------- join strategies
-    def _merge_join(self, node, left, right, lkeys, rkeys) -> Relation:
-        self.metrics.note(
-            f"merge join on {node.left_cols} ({node.how}, "
-            f"{left.num_rows}x{right.num_rows})"
-        )
-        self.metrics.charge_cpu(
-            (left.num_rows + right.num_rows) * self.costs.merge_row, "join"
-        )
-        if node.how in ("semi", "anti"):
-            matched = semi_join_mask(lkeys, rkeys)
-            keep = matched if node.how == "semi" else ~matched
-            self.metrics.charge_cpu(int(keep.sum()) * self.costs.join_output_row, "join")
-            return left.filter(keep)
-        lidx, ridx = inner_join_pairs(lkeys, rkeys)
-        self.metrics.charge_cpu(len(lidx) * self.costs.join_output_row, "join")
-        return self._assemble_inner(node, left, right, lidx, ridx, order_from="left")
-
-    def _hash_join(self, node, left, right, lkeys, rkeys, sandwich_pairs) -> Relation:
-        costs = self.costs
-        how = node.how
-        # choose the build side (results are assembled probe=left always)
-        if how == "inner":
-            build_is_left = left.data_bytes() < right.data_bytes()
-        else:
-            build_is_left = False
-        build_rel = left if build_is_left else right
-        probe_rel = right if build_is_left else left
-        if how in ("semi", "anti"):
-            build_bytes = build_rel.row_bytes(list(node.right_cols)) * build_rel.num_rows
-        else:
-            build_bytes = build_rel.data_bytes()
-        build_bytes += _HASH_ENTRY_OVERHEAD * build_rel.num_rows
-
-        if sandwich_pairs:
-            state_bytes, num_groups = self._sandwich_join_accounting(
-                node, left, right, build_is_left, sandwich_pairs, build_bytes
-            )
-        else:
-            state_bytes, num_groups = build_bytes, 1
-            self.metrics.note(
-                f"hash join on {node.left_cols} ({how}), build "
-                f"{build_rel.num_rows} rows / {build_bytes/1e6:.2f} MB"
-            )
-        self._hold(f"join:{node.left_cols}", state_bytes + num_groups * _GROUP_HEADER_BYTES)
-        factor = costs.cache_factor(state_bytes)
-        cpu = (
-            build_rel.num_rows * costs.hash_build_row * factor
-            + probe_rel.num_rows * costs.hash_probe_row * factor
-        )
-        if sandwich_pairs:
-            cpu += num_groups * costs.sandwich_group_overhead
-            cpu += (left.num_rows + right.num_rows) * costs.sandwich_row_overhead
-            # scatter-order delivery of both inputs: one random access per
-            # group run instead of a straight sequential pass
-            self.metrics.charge_io(0.0, 2 * num_groups, 2 * num_groups * self.disk.access_latency)
-        self.metrics.charge_cpu(cpu, "join")
-
-        # ---- execute -------------------------------------------------------
-        if how == "inner":
-            # output follows the probe side's order, as a pipelined hash
-            # join does — this is what lets a later merge join see the
-            # PK scheme's key order through an earlier N:1 join
-            if build_is_left:
-                ridx, lidx = inner_join_pairs(rkeys, lkeys)
-                order_from = "right"
-            else:
-                lidx, ridx = inner_join_pairs(lkeys, rkeys)
-                order_from = "left"
-            if node.residual is not None:
-                joined = self._assemble_inner(node, left, right, lidx, ridx, order_from)
-                mask = np.asarray(node.residual.eval(joined), dtype=bool)
-                self.metrics.charge_cpu(len(lidx) * costs.expr_value, "join")
-                joined = joined.filter(mask)
-                self.metrics.charge_cpu(joined.num_rows * costs.join_output_row, "join")
-                return joined
-            self.metrics.charge_cpu(len(lidx) * costs.join_output_row, "join")
-            return self._assemble_inner(node, left, right, lidx, ridx, order_from)
-        if how == "left":
-            lidx, ridx = left_join_pairs(lkeys, rkeys)
-            self.metrics.charge_cpu(len(lidx) * costs.join_output_row, "join")
-            return self._assemble_left(node, left, right, lidx, ridx)
-        if how in ("semi", "anti"):
-            if node.residual is not None:
-                lidx, ridx = inner_join_pairs(lkeys, rkeys)
-                joined_cols = dict(left.take(lidx).columns)
-                for name, arr in right.take(ridx).columns.items():
-                    joined_cols.setdefault(name, arr)
-                mask_pairs = np.asarray(node.residual.eval(joined_cols), dtype=bool)
-                self.metrics.charge_cpu(len(lidx) * costs.expr_value, "join")
-                matched = np.zeros(left.num_rows, dtype=bool)
-                matched[lidx[mask_pairs]] = True
-            else:
-                matched = semi_join_mask(lkeys, rkeys)
-            keep = matched if how == "semi" else ~matched
-            self.metrics.charge_cpu(int(keep.sum()) * costs.join_output_row, "join")
-            return left.filter(keep)
-        raise AssertionError(how)
-
-    def _sandwich_join_accounting(
-        self, node, left, right, build_is_left, pairs, build_bytes
-    ) -> Tuple[float, int]:
-        """Per-group peak state and group count of a sandwiched join."""
-        budget = self.options.max_sandwich_bits
-        build_gid = np.zeros(left.num_rows if build_is_left else right.num_rows, dtype=np.uint64)
-        total_bits = 0
-        for left_use, right_use in pairs:
-            if budget <= 0:
-                break
-            g = min(left_use.bits, right_use.bits, budget)
-            budget -= g
-            total_bits += g
-            use = left_use if build_is_left else right_use
-            rel = left if build_is_left else right
-            vals = rel.columns[use.column] >> np.uint64(use.bits - g)
-            build_gid = (build_gid << np.uint64(g)) | vals
-        if total_bits == 0 or len(build_gid) == 0:
-            return build_bytes, 1
-        _, counts = np.unique(build_gid, return_counts=True)
-        build_rows = max(len(build_gid), 1)
-        per_row = build_bytes / build_rows
-        state_bytes = float(counts.max()) * per_row
-        num_groups = len(counts)
-        self.metrics.note(
-            f"sandwich join on {node.left_cols} via "
-            + "+".join(p[0].dimension.name for p in pairs)
-            + f" @{total_bits} bits: {num_groups} groups, "
-            f"max group {state_bytes/1e6:.3f} MB (full build {build_bytes/1e6:.2f} MB)"
-        )
-        self.metrics.bump("sandwich_joins")
-        return state_bytes, num_groups
-
-    # ----------------------------------------------------- join assembly
-    def _assemble_inner(self, node, left, right, lidx, ridx, order_from: str) -> Relation:
-        lpart = left.take(lidx, keep_sorted=order_from == "left")
-        rpart = right.take(ridx, keep_sorted=order_from == "right")
-        columns = dict(lpart.columns)
-        valid = dict(lpart.valid)
-        for name, arr in rpart.columns.items():
-            if name not in columns:
-                columns[name] = arr
-        for name, mask in rpart.valid.items():
-            if name not in valid:
-                valid[name] = mask
-        owners = dict(left.owners)
-        owners.update(right.owners)
-        uses = list(lpart.uses) + [u for u in rpart.uses if u.column in columns]
-        return Relation(
-            columns=columns,
-            valid=valid,
-            sorted_on=lpart.sorted_on if order_from == "left" else rpart.sorted_on,
-            uses=uses,
-            owners=owners,
-        )
-
-    def _assemble_left(self, node, left, right, lidx, ridx) -> Relation:
-        matched = ridx >= 0
-        safe_ridx = np.where(matched, ridx, 0)
-        lpart = left.take(lidx, keep_sorted=True)
-        if right.num_rows == 0:
-            # nothing to gather: null-extend with typed placeholders
-            rpart = Relation(
-                columns={
-                    name: np.zeros(len(lidx), dtype=arr.dtype)
-                    for name, arr in right.columns.items()
-                },
-                owners=dict(right.owners),
-            )
-        else:
-            rpart = right.take(safe_ridx)
-        columns = dict(lpart.columns)
-        valid = dict(lpart.valid)
-        for name, arr in rpart.columns.items():
-            if name not in columns:
-                columns[name] = arr
-                prior = rpart.valid.get(name)
-                valid[name] = matched if prior is None else (matched & prior)
-        owners = dict(left.owners)
-        owners.update(right.owners)
-        # right-side uses are not valid on unmatched rows; drop them
-        uses = list(lpart.uses)
-        return Relation(
-            columns=columns, valid=valid, sorted_on=lpart.sorted_on, uses=uses, owners=owners
-        )
-
-    # ------------------------------------------------------------ groupby
-    def _run_groupby(self, node: GroupByNode) -> Relation:
-        rel = self._run(node.input)
-        costs = self.costs
-        n = rel.num_rows
-
-        if node.keys:
-            key_arrays = [rel.column(k) for k in node.keys]
-            if n:
-                group_index, first_rows, num_groups = group_rows(key_arrays)
-            else:
-                group_index = np.zeros(0, dtype=np.int64)
-                first_rows = np.zeros(0, dtype=np.int64)
-                num_groups = 0
-        else:
-            group_index = np.zeros(n, dtype=np.int64)
-            first_rows = np.zeros(1 if n else 0, dtype=np.int64)
-            num_groups = 1 if n else 0
-
-        state_row = (
-            (rel.row_bytes(list(node.keys)) if node.keys else 0.0)
-            + len(node.aggs) * _AGG_STATE_BYTES
-            + _HASH_ENTRY_OVERHEAD
-        )
-        streaming = bool(node.keys) and self._streaming_ok(rel, node.keys)
-        partition_uses = []
-        if not streaming and node.keys and self.options.enable_sandwich and n:
-            partition_uses = self._partition_uses(rel, node.keys)
-
-        if streaming:
-            self.metrics.note(f"streaming aggregation on {node.keys}")
-            self.metrics.charge_cpu(n * costs.stream_agg_row, "aggregate")
-            self._hold("agg:stream", state_row)  # one live group
-        elif partition_uses:
-            pid = np.zeros(n, dtype=np.uint64)
-            total_bits = 0
-            budget = self.options.max_sandwich_bits
-            for use in partition_uses:
-                g = min(use.bits, budget - total_bits)
-                if g <= 0:
-                    break
-                pid = (pid << np.uint64(g)) | (rel.columns[use.column] >> np.uint64(use.bits - g))
-                total_bits += g
-            per_part = distinct_per_partition(pid, group_index)
-            max_state = float(per_part.max()) * state_row if len(per_part) else 0.0
-            num_partitions = len(per_part)
-            self._hold("agg:sandwich", max_state + num_partitions * _GROUP_HEADER_BYTES)
-            factor = costs.cache_factor(max_state)
-            self.metrics.charge_cpu(
-                n * costs.agg_update_row * factor
-                + num_partitions * costs.sandwich_group_overhead
-                + n * costs.sandwich_row_overhead,
-                "aggregate",
-            )
-            self.metrics.charge_io(0.0, num_partitions, num_partitions * self.disk.access_latency)
-            self.metrics.note(
-                f"sandwich aggregation on {node.keys} via "
-                + "+".join(u.dimension.name for u in partition_uses)
-                + f": {num_partitions} partitions, max state "
-                f"{max_state/1e6:.3f} MB (full {num_groups * state_row/1e6:.2f} MB)"
-            )
-            self.metrics.bump("sandwich_aggs")
-        else:
-            total_state = num_groups * state_row
-            self._hold("agg:hash", total_state)
-            factor = costs.cache_factor(total_state)
-            self.metrics.charge_cpu(n * costs.agg_update_row * factor, "aggregate")
-            if node.keys:
-                self.metrics.note(
-                    f"hash aggregation on {node.keys}: {num_groups} groups, "
-                    f"{total_state/1e6:.2f} MB"
-                )
-
-        # ---- execute (strategy-independent kernels) -------------------------
-        columns: Dict[str, np.ndarray] = {}
-        owners: Dict[str, str] = {}
-        for key in node.keys:
-            columns[key] = rel.column(key)[first_rows]
-            if key in rel.owners:
-                owners[key] = rel.owners[key]
-        for spec in node.aggs:
-            values = None
-            valid = None
-            if spec.expr is not None:
-                values = np.asarray(spec.expr.eval(rel))
-                if isinstance(spec.expr, Col):
-                    valid = rel.valid.get(spec.expr.name)
-                self.metrics.charge_cpu(n * costs.expr_value, "aggregate")
-            elif spec.fn == "count":
-                pass
-            if num_groups == 0:
-                columns[spec.name] = np.zeros(0)
-                continue
-            columns[spec.name] = apply_aggregate(spec, group_index, num_groups, values, valid)
-
-        out_uses: List[StreamUse] = []
-        for use in partition_uses:
-            columns[use.column] = rel.columns[use.column][first_rows]
-            out_uses.append(use)
-        return Relation(
-            columns=columns,
-            sorted_on=tuple(node.keys),
-            uses=out_uses,
-            owners=owners,
-        )
-
-    def _streaming_ok(self, rel: Relation, keys: Tuple[str, ...]) -> bool:
-        """Can the aggregation stream over the input's sort order?
-
-        Either the keys literally are a prefix of the sort order, or the
-        leading sort column is a single-column primary key among the keys
-        and every other key is functionally determined by it — owned by
-        the same scan, or by a scan reachable from it over the query's
-        foreign-key joins (the PK scheme's Q18: LINEITEM sorted on
-        ``o_orderkey`` streams a group-by over order + customer columns).
-        """
-        if tuple(rel.sorted_on[: len(keys)]) == tuple(keys):
-            return True
-        if not rel.sorted_on:
-            return False
-        lead = rel.sorted_on[0]
-        if lead not in keys:
-            return False
-        alias = rel.owners.get(lead)
-        if alias is None:
-            return False
-        scan = self._analysis.scans.get(alias)
-        if scan is None:
-            return False
-        pk = self.pdb.schema.table(scan.table).primary_key
-        if tuple(pk) != (strip_prefix(lead, scan.prefix),):
-            return False
-        # aliases whose rows (hence columns) the lead key determines
-        determined = {alias}
-        frontier = [alias]
-        while frontier:
-            current = frontier.pop()
-            for edge in self._analysis.edges:
-                if edge.child_alias == current and edge.parent_alias not in determined:
-                    determined.add(edge.parent_alias)
-                    frontier.append(edge.parent_alias)
-        return all(rel.owners.get(k) in determined for k in keys)
-
-    def _partition_uses(self, rel: Relation, keys: Sequence[str]) -> List[StreamUse]:
-        """Stream uses whose group id is functionally determined by the
-        grouping keys: the keys contain the child columns of the use's
-        leading foreign key, or the primary key of the use's own table.
-
-        This is the paper's Q13/Q18 effect: grouping ORDERS by
-        ``o_custkey``-determined keys (or LINEITEM by ``l_orderkey``)
-        pre-partitions the aggregation along the carried D_NATION /
-        D_DATE groups."""
-        schema = self.pdb.schema
-        by_alias: Dict[str, Set[str]] = {}
-        for key in keys:
-            alias = rel.owners.get(key)
-            if alias is not None:
-                by_alias.setdefault(alias, set()).add(key)
-        result: List[StreamUse] = []
-        seen = set()
-        for alias, owned in by_alias.items():
-            scan = self._analysis.scans.get(alias)
-            if scan is None:
-                continue
-            base_cols = {strip_prefix(c, scan.prefix) for c in owned}
-            table = schema.table(scan.table)
-            pk_covered = bool(table.primary_key) and set(table.primary_key) <= base_cols
-            covered_fks = {
-                fk.name
-                for fk in schema.outgoing_foreign_keys(scan.table)
-                if set(fk.child_columns) <= base_cols
-            }
-            for use in rel.uses_for_alias(alias):
-                if use.instance_key() in seen:
-                    continue
-                if pk_covered or (use.path and use.path[0] in covered_fks):
-                    result.append(use)
-                    seen.add(use.instance_key())
-        return result
-
-    # --------------------------------------------------------------- sort
-    def _run_sort(self, node: SortNode) -> Relation:
-        rel = self._run(node.input)
-        n = rel.num_rows
-        if n:
-            sort_keys = []
-            for column, ascending in reversed(node.keys):
-                values = rel.column(column)
-                if not ascending:
-                    if values.dtype.kind in "iuf":
-                        values = -values.astype(np.float64)
-                    else:
-                        _, codes = np.unique(values, return_inverse=True)
-                        values = -codes
-                sort_keys.append(values)
-            order = np.lexsort(tuple(sort_keys))
-            rel = rel.take(order)
-        self._hold("sort", rel.data_bytes())
-        self.metrics.charge_cpu(
-            n * max(math.log2(max(n, 2)), 1.0) * self.costs.sort_row, "sort"
-        )
-        if all(asc for _, asc in node.keys):
-            rel.sorted_on = tuple(c for c, _ in node.keys)
-        return rel
-
-    def _run_limit(self, node: LimitNode) -> Relation:
-        rel = self._run(node.input)
-        if rel.num_rows > node.count:
-            rel = rel.take(np.arange(node.count), keep_sorted=True)
-        return rel
-
-
-def _rows_to_runs(rows: np.ndarray) -> List[Tuple[int, int]]:
-    """Sorted row indices -> (start, length) runs."""
-    if len(rows) == 0:
-        return []
-    breaks = np.flatnonzero(np.diff(rows) != 1)
-    starts = np.concatenate([[0], breaks + 1])
-    ends = np.concatenate([breaks, [len(rows) - 1]])
-    return [(int(rows[s]), int(rows[e] - rows[s] + 1)) for s, e in zip(starts, ends)]
+    def execute(self, plan) -> QueryResult:
+        """Lower (or fetch the cached lowering of) a plan and run it."""
+        if isinstance(plan, PhysicalPlan):
+            return self.run(plan)
+        return self.run(self.lower(plan))

@@ -1,9 +1,15 @@
-"""EXPLAIN: render a logical plan and the strategies a scheme picks.
+"""EXPLAIN: render the physical plan a scheme picks — without running it.
 
-``explain(executor, plan)`` executes the plan (execution is the cheapest
-way to get truthful strategy decisions in this engine — it is a
-simulator) and renders the plan tree together with the executor's
-decision notes, IO/CPU/memory totals and the active scan restrictions.
+``explain(executor, plan)`` lowers the plan (planning is pure: it reads
+count-table / zone-map / schema metadata but never touches row data) and
+renders the physical operator tree with each operator's strategy
+rationale — merge vs sandwich vs hash joins, streaming vs sandwich vs
+hash aggregation, pushdown/minmax scan pruning and replica choice.
+
+``explain(executor, plan, analyze=True)`` additionally *runs* the plan
+and annotates the output with the executor's runtime notes (actual group
+counts, build sizes) and the simulated IO/CPU/memory totals, like SQL's
+``EXPLAIN ANALYZE``.
 """
 
 from __future__ import annotations
@@ -22,8 +28,9 @@ from .logical import (
     ScanNode,
     SortNode,
 )
+from .lowering import PhysicalPlan
 
-__all__ = ["format_plan", "explain"]
+__all__ = ["format_plan", "format_physical_plan", "explain"]
 
 
 def _describe(node: PlanNode) -> str:
@@ -65,21 +72,61 @@ def format_plan(plan) -> str:
     return "\n".join(lines)
 
 
-def explain(executor: Executor, plan) -> str:
-    """Plan tree + the scheme's actual strategy decisions and costs."""
-    result = executor.execute(plan)
-    metrics = result.metrics
+def format_physical_plan(pplan: PhysicalPlan, verbose: bool = True) -> str:
+    """ASCII tree of a physical plan.
+
+    With ``verbose`` each operator's strategy rationale is appended in
+    brackets; without, only the structural skeleton (operator kinds, join
+    keys, grouping keys) is printed — the stable form golden tests pin.
+    """
+    lines: List[str] = []
+
+    def render(op, depth: int) -> None:
+        line = "  " * depth + op.describe()
+        rationale = getattr(op, "rationale", "")
+        if verbose and rationale:
+            line += f"  [{rationale}]"
+        lines.append(line)
+        for child in op.children():
+            render(child, depth + 1)
+
+    render(pplan.root, 0)
+    return "\n".join(lines)
+
+
+def _decisions(pplan: PhysicalPlan) -> List[str]:
+    out: List[str] = []
+    for op in pplan.operators():
+        rationale = getattr(op, "rationale", "")
+        if rationale:
+            out.append(f"{op.describe()}: {rationale}")
+    return out
+
+
+def explain(executor: Executor, plan, analyze: bool = False) -> str:
+    """Physical plan + strategy decisions; with ``analyze``, also run the
+    query and report actual notes and simulated costs."""
+    pplan = executor.lower(plan)
     parts = [
         f"scheme: {executor.pdb.scheme_name}",
-        format_plan(plan),
+        format_physical_plan(pplan, verbose=True),
         "",
         "decisions:",
     ]
-    if metrics.notes:
-        parts.extend(f"  - {note}" for note in metrics.notes)
+    decisions = _decisions(pplan)
+    if decisions:
+        parts.extend(f"  - {d}" for d in decisions)
     else:
         parts.append("  - (none: plain scans and default strategies)")
+    if not analyze:
+        return "\n".join(parts)
+
+    result = executor.run(pplan)
+    metrics = result.metrics
     parts.append("")
+    parts.append("actual:")
+    if metrics.notes:
+        parts.extend(f"  - {note}" for note in metrics.notes)
     parts.append(
         "cost: %.3f ms simulated (IO %.3f ms / %.2f MB in %d accesses, "
         "CPU %.3f ms), peak memory %.3f MB, %d rows out"

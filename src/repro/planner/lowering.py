@@ -1,0 +1,824 @@
+"""Lowering: logical plan -> physical plan, all strategies decided.
+
+This is the planning half of the engine.  One walk over the logical plan
+— armed with :class:`PlanAnalysis`, selection propagation and the cost
+model — resolves every strategy decision the paper's evaluation turns
+on, and emits a typed physical plan of
+:mod:`repro.execution.operators` nodes:
+
+* **Scans** become :class:`PhysicalScan` with resolved replica choice,
+  count-table restrictions (pushdown + propagation) and zone-map ranges;
+* **Joins** become :class:`MergeJoin` (both inputs ordered),
+  :class:`SandwichJoin` (co-clustered streams share a dimension over the
+  join key) or :class:`HashJoin`;
+* **Aggregations** become :class:`StreamAgg` (input ordered on the
+  keys), :class:`SandwichAgg` (keys functionally determine a carried
+  dimension use) or :class:`HashAgg`.
+
+Decisions rest on *guaranteed* physical stream properties (sort order,
+carried dimension uses, column ownership) that lowering tracks exactly
+as execution propagates them — so a plan never claims an order the data
+will not have.  Cardinalities, in contrast, are *estimates* (count-table
+and zone-map metadata plus predicate-shape selectivities); they only tip
+performance choices such as the hash-join build side.
+
+Lowering is pure: it reads table metadata (count tables, zone maps,
+schema) but never touches row data, charges no metrics, and lowering the
+same plan twice yields equal physical plans — the basis for EXPLAIN
+without execution and for plan caching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..execution.expressions import (
+    And,
+    Between,
+    Cmp,
+    Col,
+    Expr,
+    InList,
+    Like,
+    Not,
+    Or,
+)
+from ..execution.operators import (
+    HashAgg,
+    HashJoin,
+    Limit,
+    MergeJoin,
+    PhysicalFilter,
+    PhysicalOp,
+    PhysicalProject,
+    PhysicalScan,
+    SandwichAgg,
+    SandwichJoin,
+    Sort,
+    StreamAgg,
+    walk_physical,
+)
+from ..execution.relation import StreamUse
+from ..schemes.base import PhysicalDatabase
+from .analysis import PlanAnalysis, analyse_plan, strip_prefix
+from .logical import (
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    LimitNode,
+    Plan,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+from .predicates import column_ranges, conjuncts
+from .propagation import compute_restrictions
+
+__all__ = ["ExecutionOptions", "PhysicalPlan", "lower"]
+
+
+@dataclass
+class ExecutionOptions:
+    """Feature switches (for ablations) and sandwich tuning.  All of
+    these are honoured at *lowering* time: flipping a switch changes the
+    emitted physical plan, not the behaviour of the operators."""
+
+    enable_pushdown: bool = True      # BDCC group pruning from local predicates
+    enable_propagation: bool = True   # ... and from co-clustered neighbours
+    enable_minmax: bool = True        # zone-map page pruning
+    enable_sandwich: bool = True      # pre-grouped joins/aggregations
+    enable_merge: bool = True         # merge joins on ordered inputs
+    max_sandwich_bits: int = 8        # cap on combined sandwich group bits
+
+    def cache_key(self) -> tuple:
+        return (
+            self.enable_pushdown,
+            self.enable_propagation,
+            self.enable_minmax,
+            self.enable_sandwich,
+            self.enable_merge,
+            self.max_sandwich_bits,
+        )
+
+
+@dataclass
+class PhysicalPlan:
+    """A fully lowered query: the operator tree plus the context it was
+    planned for."""
+
+    root: PhysicalOp
+    scheme_name: str
+
+    def operators(self):
+        return walk_physical(self.root)
+
+
+# ------------------------------------------------------------ selectivity
+def _selectivity(expr: Optional[Expr]) -> float:
+    """Crude predicate-shape selectivity; only used to tip performance
+    choices (hash-join build side), never correctness."""
+    if expr is None:
+        return 1.0
+    if isinstance(expr, Cmp):
+        if expr.op == "==":
+            return 0.15
+        if expr.op == "!=":
+            return 0.85
+        return 0.35
+    if isinstance(expr, Between):
+        return 0.25
+    if isinstance(expr, InList):
+        return min(0.8, 0.15 * max(len(expr.values), 1))
+    if isinstance(expr, Like):
+        return 0.15
+    if isinstance(expr, Not):
+        return 1.0 - _selectivity(expr.operand)
+    if isinstance(expr, And):
+        return _selectivity(expr.left) * _selectivity(expr.right)
+    if isinstance(expr, Or):
+        s1, s2 = _selectivity(expr.left), _selectivity(expr.right)
+        return min(1.0, s1 + s2 - s1 * s2)
+    return 0.5
+
+
+def _value_bytes(array: np.ndarray) -> float:
+    """Engine-side bytes per value (mirrors Relation.row_bytes)."""
+    if array.dtype.kind == "U":
+        return array.dtype.itemsize / 4.0
+    return float(array.dtype.itemsize)
+
+
+def _resolve_selection(stored, restrictions, minmax_ranges):
+    """Resolve a scan's selected row set from metadata only.
+
+    Applies count-table group pruning (``restrictions``) and zone-map
+    block pruning (``minmax_ranges``); returns ``(rows, note_bits)``
+    where ``rows`` is None for a full scan.  Computed once here and
+    carried on the :class:`PhysicalScan` for every run."""
+    n = stored.stored_rows
+    bdcc = stored.bdcc
+    note_bits: List[str] = []
+    if bdcc is not None:
+        if restrictions:
+            entries = bdcc.entries_matching(list(restrictions))
+            note_bits.append(
+                f"pushdown {len(entries)}/{bdcc.count_table.num_groups} groups"
+            )
+        else:
+            entries = bdcc.all_entries()
+        rows = bdcc.count_table.rows_for_entries(entries)
+    else:
+        rows = None  # all rows, in storage order
+
+    if minmax_ranges and n > 0:
+        mask: Optional[np.ndarray] = None
+        for column, low, high in minmax_ranges:
+            index = stored.minmax_for(column)
+            keep_blocks = index.blocks_overlapping(low, high)
+            if keep_blocks.all():
+                continue
+            block_of_row = np.arange(n) // index.block_rows
+            row_keep = keep_blocks[block_of_row]
+            mask = row_keep if mask is None else (mask & row_keep)
+        if mask is not None:
+            if rows is None:
+                rows = np.flatnonzero(mask)
+            else:
+                rows = rows[mask[rows]]
+            note_bits.append(f"minmax {np.count_nonzero(mask)}/{n} rows")
+    return rows, note_bits
+
+
+@dataclass
+class _Stream:
+    """Statically inferred physical properties of an operator's output —
+    the planning-time mirror of what :class:`Relation` carries at run
+    time.  ``columns`` maps every output column (including hidden group
+    columns) to estimated engine bytes per value."""
+
+    op: PhysicalOp
+    columns: Dict[str, float]
+    owners: Dict[str, str]
+    sorted_on: Tuple[str, ...]
+    uses: List[StreamUse]
+    est_rows: float
+
+    def uses_for_alias(self, alias: str) -> List[StreamUse]:
+        return [u for u in self.uses if u.alias == alias]
+
+    def est_bytes(self) -> float:
+        return self.est_rows * sum(self.columns.values())
+
+
+class _Lowering:
+    def __init__(self, pdb: PhysicalDatabase, options: ExecutionOptions):
+        self.pdb = pdb
+        self.options = options
+        self.analysis: PlanAnalysis = None  # set in lower()
+        self._restrictions = {}
+        self._replica_choice = {}
+
+    # ------------------------------------------------------------- driver
+    def lower(self, node: PlanNode) -> PhysicalPlan:
+        self.analysis = analyse_plan(node, self.pdb.schema)
+        self._restrictions = {}
+        self._replica_choice = {}
+        if self.options.enable_pushdown:
+            bdcc_tables = self.pdb.bdcc_tables()
+            if bdcc_tables:
+                alias_tables = {a: s.table for a, s in self.analysis.scans.items()}
+                self._restrictions = compute_restrictions(
+                    self.pdb.database,
+                    self.analysis,
+                    bdcc_tables,
+                    alias_tables,
+                    local_only=not self.options.enable_propagation,
+                )
+                self._choose_replicas(bdcc_tables, alias_tables)
+        stream = self._lower(node)
+        return PhysicalPlan(stream.op, self.pdb.scheme_name)
+
+    def _choose_replicas(self, bdcc_tables, alias_tables) -> None:
+        """Per scan, pick the physical copy whose count-table groups the
+        query's restrictions prune hardest (future-work (ii): which
+        dimensions to use for which replica)."""
+        if not self.pdb.replicas:
+            return
+        for alias, scan_node in self.analysis.scans.items():
+            copies = self.pdb.replicas.get(scan_node.table)
+            if not copies:
+                continue
+            primary = self.pdb.table(scan_node.table)
+            candidates = [(primary, self._restrictions.get(alias, []))]
+            for copy in copies:
+                variant = dict(bdcc_tables)
+                variant[scan_node.table] = copy.bdcc
+                restr = compute_restrictions(
+                    self.pdb.database,
+                    self.analysis,
+                    variant,
+                    alias_tables,
+                    local_only=not self.options.enable_propagation,
+                )
+                candidates.append((copy, restr.get(alias, [])))
+
+            def selected_fraction(candidate):
+                stored, restrictions = candidate
+                if stored.bdcc is None or not restrictions:
+                    return 1.0
+                entries = stored.bdcc.entries_matching(restrictions)
+                rows = float(stored.bdcc.count_table.counts[entries].sum())
+                return rows / max(stored.bdcc.logical_rows, 1)
+
+            best = min(candidates, key=selected_fraction)
+            if best[0] is not primary:
+                index = next(i for i, c in enumerate(copies) if c is best[0])
+                note = (
+                    f"scan {alias}: replica #{index + 1} selected "
+                    f"({selected_fraction(best):.0%} of rows vs "
+                    f"{selected_fraction(candidates[0]):.0%} on the primary)"
+                )
+                self._replica_choice[alias] = (best[0], best[1], note)
+
+    # ----------------------------------------------------------- dispatch
+    def _lower(self, node: PlanNode) -> _Stream:
+        if isinstance(node, ScanNode):
+            return self._lower_scan(node)
+        if isinstance(node, FilterNode):
+            return self._lower_filter(node)
+        if isinstance(node, ProjectNode):
+            return self._lower_project(node)
+        if isinstance(node, JoinNode):
+            return self._lower_join(node)
+        if isinstance(node, GroupByNode):
+            return self._lower_groupby(node)
+        if isinstance(node, SortNode):
+            return self._lower_sort(node)
+        if isinstance(node, LimitNode):
+            return self._lower_limit(node)
+        raise TypeError(f"unknown node {type(node).__name__}")
+
+    # --------------------------------------------------------------- scan
+    def _lower_scan(self, node: ScanNode) -> _Stream:
+        replica_note = ""
+        chosen = self._replica_choice.get(node.alias)
+        if chosen is not None:
+            stored, restrictions, replica_note = chosen
+        else:
+            stored = self.pdb.table(node.table)
+            restrictions = self._restrictions.get(node.alias, [])
+        wanted = self.analysis.demands.get(node.alias, set())
+        demanded = [c for c in stored.definition.column_names if c in wanted]
+        if not demanded:  # count-only scans still need one column
+            demanded = [stored.definition.column_names[0]]
+        n = stored.stored_rows
+        bdcc = stored.bdcc
+        prefix = node.prefix
+
+        # zone-map decisions: keep only the ranges that actually prune
+        minmax_ranges: List[Tuple[str, float, float]] = []
+        if self.options.enable_minmax and node.predicate is not None and n > 0:
+            for column, (low, high) in column_ranges(node.predicate).items():
+                base = strip_prefix(column, prefix)
+                if base not in stored.columns:
+                    continue
+                if stored.columns[base].dtype.kind not in "iuf":
+                    continue
+                index = stored.minmax_for(base)
+                if index.blocks_overlapping(low, high).all():
+                    continue
+                minmax_ranges.append((base, low, high))
+
+        rows, note_bits = _resolve_selection(stored, restrictions, minmax_ranges)
+        num_selected = n if rows is None else len(rows)
+        # block pruning yields a superset of the qualifying rows; the
+        # value-based estimate bounds the residual predicate's effect
+        est_rows = min(
+            float(num_selected), n * self._scan_selectivity(stored, prefix, node.predicate)
+        )
+
+        sandwich_uses: List[Tuple[int, int, str]] = []
+        uses: List[StreamUse] = []
+        if bdcc is not None and self.options.enable_sandwich:
+            for idx, use in enumerate(bdcc.uses):
+                eff_bits = bdcc.effective_bits(idx)
+                if eff_bits == 0:
+                    continue
+                column_name = f"__grp__{node.alias}__{idx}"
+                sandwich_uses.append((idx, eff_bits, column_name))
+                uses.append(
+                    StreamUse(node.alias, use.dimension, use.path, eff_bits, column_name)
+                )
+
+        rationale_bits = []
+        if replica_note:
+            rationale_bits.append(replica_note.split(": ", 1)[1])
+        rationale_bits.extend(note_bits)
+        if uses:
+            rationale_bits.append(
+                "carries " + "+".join(u.dimension.name for u in uses)
+            )
+
+        sorted_on = tuple(prefix + c for c in stored.sort_columns)
+        op = PhysicalScan(
+            table=node.table,
+            alias=node.alias,
+            prefix=prefix,
+            stored=stored,
+            demanded=tuple(demanded),
+            predicate=node.predicate,
+            restrictions=tuple(restrictions),
+            minmax_ranges=tuple(minmax_ranges),
+            selected_rows=rows,
+            selection_notes=tuple(note_bits),
+            sandwich_uses=tuple(sandwich_uses),
+            sorted_on=sorted_on,
+            est_rows=est_rows,
+            rationale=", ".join(rationale_bits),
+            replica_note=replica_note,
+        )
+        columns = {prefix + c: _value_bytes(stored.columns[c]) for c in demanded}
+        owners = {name: node.alias for name in columns}
+        for _, _, column_name in sandwich_uses:
+            columns[column_name] = 8.0
+        return _Stream(op, columns, owners, sorted_on, uses, max(est_rows, 1.0))
+
+    def _scan_selectivity(self, stored, prefix: str, predicate: Optional[Expr]) -> float:
+        """Predicate selectivity against one stored table: range
+        conjuncts use the column's actual min/max (zone-map statistics),
+        everything else falls back to predicate-shape heuristics."""
+        if predicate is None:
+            return 1.0
+        sel = 1.0
+        range_cols: Set[str] = set()
+        for column, (low, high) in column_ranges(predicate).items():
+            base = strip_prefix(column, prefix)
+            if base not in stored.columns or stored.stored_rows == 0:
+                continue
+            if stored.columns[base].dtype.kind not in "iuf":
+                continue
+            index = stored.minmax_for(base)
+            gmin, gmax = float(index.mins.min()), float(index.maxs.max())
+            lo = gmin if low is None else max(float(low), gmin)
+            hi = gmax if high is None else min(float(high), gmax)
+            if hi < lo:
+                frac = 0.0
+            elif gmax <= gmin:
+                frac = 1.0
+            elif low is not None and high is not None and low == high:
+                frac = 1.0 / max(gmax - gmin, 1.0)  # point lookup
+            else:
+                frac = (hi - lo) / (gmax - gmin)
+            sel *= min(max(frac, 1e-4), 1.0)
+            range_cols.add(column)
+        for conj in conjuncts(predicate):
+            if conj.columns() & range_cols:
+                continue
+            sel *= _selectivity(conj)
+        return sel
+
+    # ------------------------------------------------------------- filter
+    def _lower_filter(self, node: FilterNode) -> _Stream:
+        inp = self._lower(node.input)
+        op = PhysicalFilter(inp.op, node.predicate)
+        est = inp.est_rows * _selectivity(node.predicate)
+        return _Stream(op, dict(inp.columns), dict(inp.owners), inp.sorted_on,
+                       list(inp.uses), max(est, 1.0))
+
+    # ------------------------------------------------------------ project
+    def _lower_project(self, node: ProjectNode) -> _Stream:
+        inp = self._lower(node.input)
+        op = PhysicalProject(inp.op, node.exprs)
+        columns: Dict[str, float] = {}
+        owners: Dict[str, str] = {}
+        for name, expr in node.exprs:
+            if isinstance(expr, Col):
+                columns[name] = inp.columns.get(expr.name, 8.0)
+                if expr.name in inp.owners:
+                    owners[name] = inp.owners[expr.name]
+            else:
+                columns[name] = 8.0
+        for use in inp.uses:
+            columns[use.column] = 8.0
+        sorted_on = inp.sorted_on if all(c in columns for c in inp.sorted_on) else ()
+        return _Stream(op, columns, owners, sorted_on, list(inp.uses), inp.est_rows)
+
+    # --------------------------------------------------------------- join
+    def _lower_join(self, node: JoinNode) -> _Stream:
+        left = self._lower(node.left)
+        right = self._lower(node.right)
+        k = len(node.left_cols)
+
+        merge_ok = (
+            self.options.enable_merge
+            and node.how in ("inner", "semi", "anti")
+            and node.residual is None
+            and len(left.sorted_on) >= k
+            and len(right.sorted_on) >= k
+            and tuple(left.sorted_on[:k]) == tuple(node.left_cols)
+            and tuple(right.sorted_on[:k]) == tuple(node.right_cols)
+        )
+        pairs: List[Tuple[StreamUse, StreamUse]] = []
+        if not merge_ok and self.options.enable_sandwich:
+            pairs = self._match_uses(left, right, node)
+
+        est = self._join_estimate(node, left, right)
+
+        if merge_ok:
+            op = MergeJoin(
+                left.op, right.op, node.left_cols, node.right_cols,
+                node.how, node.residual,
+                rationale="both inputs ordered on the join keys",
+            )
+            return self._join_stream(node, op, left, right, probe="left", est=est)
+
+        # build on the (estimated) smaller side for inner joins; outer/
+        # semi/anti always build the right side (results assemble left)
+        if node.how == "inner":
+            build = "left" if left.est_bytes() < right.est_bytes() else "right"
+        else:
+            build = "right"
+
+        granted: List[Tuple[StreamUse, StreamUse, int]] = []
+        budget = self.options.max_sandwich_bits
+        total_bits = 0
+        for left_use, right_use in pairs:
+            g = min(left_use.bits, right_use.bits, max(budget, 0))
+            budget -= g
+            total_bits += g
+            granted.append((left_use, right_use, g))
+
+        if granted and total_bits > 0:
+            op = SandwichJoin(
+                left.op, right.op, node.left_cols, node.right_cols,
+                node.how, node.residual, build_side=build,
+                pairs=tuple(granted),
+                rationale=(
+                    "co-clustered via "
+                    + "+".join(p[0].dimension.name for p in granted)
+                    + f" @{total_bits} bits, build={build}"
+                ),
+            )
+        else:
+            op = HashJoin(
+                left.op, right.op, node.left_cols, node.right_cols,
+                node.how, node.residual, build_side=build,
+                rationale=f"build={build}",
+            )
+        probe = "right" if build == "left" else "left"
+        return self._join_stream(node, op, left, right, probe=probe, est=est)
+
+    def _join_estimate(self, node: JoinNode, left: _Stream, right: _Stream) -> float:
+        if node.how in ("semi", "anti"):
+            return max(left.est_rows * 0.5, 1.0)
+        est = max(left.est_rows, right.est_rows)
+        la = {left.owners.get(c) for c in node.left_cols}
+        ra = {right.owners.get(c) for c in node.right_cols}
+        if len(la) == 1 and len(ra) == 1 and None not in la and None not in ra:
+            l_alias, r_alias = la.pop(), ra.pop()
+            for edge in self.analysis.edges:
+                aliases = {edge.child_alias, edge.parent_alias}
+                if aliases != {l_alias, r_alias}:
+                    continue
+                child, parent = (
+                    (left, right) if edge.child_alias == l_alias else (right, left)
+                )
+                parent_scan = self.analysis.scans[edge.parent_alias]
+                parent_rows = max(self.pdb.table(parent_scan.table).logical_rows, 1)
+                est = child.est_rows * (parent.est_rows / parent_rows)
+                break
+        if node.residual is not None:
+            est *= _selectivity(node.residual)
+        if node.how == "left":
+            est = max(est, left.est_rows)
+        return max(est, 1.0)
+
+    def _join_stream(
+        self, node: JoinNode, op: PhysicalOp, left: _Stream, right: _Stream,
+        probe: str, est: float,
+    ) -> _Stream:
+        if node.how in ("semi", "anti"):
+            return _Stream(op, dict(left.columns), dict(left.owners),
+                           left.sorted_on, list(left.uses), est)
+        columns = dict(left.columns)
+        for name, width in right.columns.items():
+            columns.setdefault(name, width)
+        owners = dict(left.owners)
+        owners.update(right.owners)
+        if node.how == "left":
+            # right-side uses are not valid on unmatched rows; drop them
+            return _Stream(op, columns, owners, left.sorted_on, list(left.uses), est)
+        sorted_on = left.sorted_on if probe == "left" else right.sorted_on
+        if isinstance(op, MergeJoin):
+            sorted_on = left.sorted_on
+        uses = list(left.uses) + list(right.uses)
+        return _Stream(op, columns, owners, sorted_on, uses, est)
+
+    # ------------------------------------------------------ use matching
+    def _use_anchors(self, stream: _Stream, join_cols: Tuple[str, ...], other_cols: Tuple[str, ...]):
+        """Dimension uses of ``stream`` whose group is determined by (a
+        subset of) the join columns, with their co-clustering identity.
+
+        Two flavours per Section II of the paper:
+
+        * *via a foreign key*: the join columns cover an outgoing FK's
+          child columns and the use's path starts with that FK — the key
+          value determines the referenced row, hence the use's bins.  The
+          anchor identity is (dimension, path-after-the-FK, referenced
+          table+key, the other side's columns carrying that key).
+        * *the table itself hosts the key*: the join columns cover the
+          table's primary key — the row is fixed, every carried use
+          qualifies, identified by its full path.
+
+        Anchors with equal identities on both sides are co-clustered even
+        when the two tables are not FK-connected at all (the paper's
+        tables A and C sharing D1), which covers fact-fact self joins
+        (Q21) and composite-key joins (LINEITEM-PARTSUPP in Q9).
+        """
+        schema = self.pdb.schema
+        by_alias: Dict[str, List[int]] = {}
+        for pos, column in enumerate(join_cols):
+            alias = stream.owners.get(column)
+            if alias is not None:
+                by_alias.setdefault(alias, []).append(pos)
+        anchors = []
+        for alias, positions in by_alias.items():
+            scan = self.analysis.scans.get(alias)
+            if scan is None:
+                continue
+            base_to_other = {
+                strip_prefix(join_cols[p], scan.prefix): other_cols[p] for p in positions
+            }
+            base_to_self = {
+                strip_prefix(join_cols[p], scan.prefix): join_cols[p] for p in positions
+            }
+            table = schema.table(scan.table)
+            # via an outgoing foreign key covered by the join columns
+            for fk in schema.outgoing_foreign_keys(scan.table):
+                if not set(fk.child_columns) <= set(base_to_other):
+                    continue
+                own = tuple(base_to_self[c] for c in fk.child_columns)
+                carrier = tuple(base_to_other[c] for c in fk.child_columns)
+                for use in stream.uses_for_alias(alias):
+                    if use.path and use.path[0] == fk.name:
+                        identity = (
+                            use.dimension.name, use.path[1:],
+                            fk.parent_table, fk.parent_columns,
+                        )
+                        anchors.append((identity, own, carrier, use))
+            # the table itself is the referenced side (join on its PK)
+            if table.primary_key and set(table.primary_key) <= set(base_to_other):
+                own = tuple(base_to_self[c] for c in table.primary_key)
+                carrier = tuple(base_to_other[c] for c in table.primary_key)
+                for use in stream.uses_for_alias(alias):
+                    identity = (
+                        use.dimension.name, use.path,
+                        scan.table, tuple(table.primary_key),
+                    )
+                    anchors.append((identity, own, carrier, use))
+        return anchors
+
+    def _match_uses(
+        self, left: _Stream, right: _Stream, node: JoinNode
+    ) -> List[Tuple[StreamUse, StreamUse]]:
+        """Pairs of co-clustered dimension uses across the join inputs.
+
+        A left anchor and a right anchor match when they denote the same
+        dimension over the same residual path anchored at the same
+        referenced key, *and* the key travels over the same join columns
+        — then equal join keys imply equal dimension bins on both sides,
+        the precondition for sandwiched (pre-grouped) execution [3].
+        """
+        left_anchors = self._use_anchors(left, node.left_cols, node.right_cols)
+        right_anchors = self._use_anchors(right, node.right_cols, node.left_cols)
+        pairs: List[Tuple[StreamUse, StreamUse]] = []
+        seen = set()
+        for l_identity, l_own, l_carrier, left_use in left_anchors:
+            for r_identity, r_own, r_carrier, right_use in right_anchors:
+                if l_identity != r_identity:
+                    continue
+                # the key must travel over the same join-column pairing
+                if l_carrier != r_own or r_carrier != l_own:
+                    continue
+                if l_identity in seen:
+                    continue
+                seen.add(l_identity)
+                pairs.append((left_use, right_use))
+                break
+        return pairs
+
+    # ------------------------------------------------------------ groupby
+    def _lower_groupby(self, node: GroupByNode) -> _Stream:
+        inp = self._lower(node.input)
+        streaming = bool(node.keys) and self._streaming_ok(inp, node.keys)
+        partition_uses: List[StreamUse] = []
+        if not streaming and node.keys and self.options.enable_sandwich:
+            partition_uses = self._partition_uses(inp, node.keys)
+
+        out_uses: List[StreamUse] = []
+        if streaming:
+            op = StreamAgg(
+                inp.op, node.keys, node.aggs,
+                rationale="input ordered on (a determinant of) the keys",
+            )
+        elif partition_uses:
+            granted: List[Tuple[StreamUse, int]] = []
+            budget = self.options.max_sandwich_bits
+            total_bits = 0
+            for use in partition_uses:
+                g = min(use.bits, max(budget - total_bits, 0))
+                total_bits += g
+                granted.append((use, g))
+            op = SandwichAgg(
+                inp.op, node.keys, node.aggs,
+                partition_uses=tuple(granted),
+                rationale=(
+                    "keys determine "
+                    + "+".join(u.dimension.name for u, _ in granted)
+                    + f" @{total_bits} bits"
+                ),
+            )
+            out_uses = [u for u, _ in granted]
+        else:
+            op = HashAgg(inp.op, node.keys, node.aggs)
+
+        columns: Dict[str, float] = {}
+        owners: Dict[str, str] = {}
+        for key in node.keys:
+            columns[key] = inp.columns.get(key, 8.0)
+            if key in inp.owners:
+                owners[key] = inp.owners[key]
+        for spec in node.aggs:
+            columns[spec.name] = 8.0
+        for use in out_uses:
+            columns[use.column] = 8.0
+        est = 1.0 if not node.keys else min(
+            inp.est_rows, max(inp.est_rows ** 0.75, 1.0), self._group_domain(inp, node.keys)
+        )
+        return _Stream(op, columns, owners, tuple(node.keys), out_uses, est)
+
+    def _group_domain(self, stream: _Stream, keys: Tuple[str, ...]) -> float:
+        """Upper bound on the number of groups from key domains: a
+        single grouping key that is a table's primary key or a
+        single-column foreign key cannot have more distinct values than
+        the (referenced) table has rows."""
+        if len(keys) != 1:
+            return float("inf")
+        alias = stream.owners.get(keys[0])
+        scan = self.analysis.scans.get(alias) if alias is not None else None
+        if scan is None:
+            return float("inf")
+        base = strip_prefix(keys[0], scan.prefix)
+        schema = self.pdb.schema
+        if tuple(schema.table(scan.table).primary_key) == (base,):
+            return float(self.pdb.table(scan.table).logical_rows)
+        for fk in schema.outgoing_foreign_keys(scan.table):
+            if fk.child_columns == [base] or tuple(fk.child_columns) == (base,):
+                return float(self.pdb.table(fk.parent_table).logical_rows)
+        return float("inf")
+
+    def _streaming_ok(self, stream: _Stream, keys: Tuple[str, ...]) -> bool:
+        """Can the aggregation stream over the input's sort order?
+
+        Either the keys literally are a prefix of the sort order, or the
+        leading sort column is a single-column primary key among the keys
+        and every other key is functionally determined by it — owned by
+        the same scan, or by a scan reachable from it over the query's
+        foreign-key joins (the PK scheme's Q18: LINEITEM sorted on
+        ``o_orderkey`` streams a group-by over order + customer columns).
+        """
+        if tuple(stream.sorted_on[: len(keys)]) == tuple(keys):
+            return True
+        if not stream.sorted_on:
+            return False
+        lead = stream.sorted_on[0]
+        if lead not in keys:
+            return False
+        alias = stream.owners.get(lead)
+        if alias is None:
+            return False
+        scan = self.analysis.scans.get(alias)
+        if scan is None:
+            return False
+        pk = self.pdb.schema.table(scan.table).primary_key
+        if tuple(pk) != (strip_prefix(lead, scan.prefix),):
+            return False
+        # aliases whose rows (hence columns) the lead key determines
+        determined = {alias}
+        frontier = [alias]
+        while frontier:
+            current = frontier.pop()
+            for edge in self.analysis.edges:
+                if edge.child_alias == current and edge.parent_alias not in determined:
+                    determined.add(edge.parent_alias)
+                    frontier.append(edge.parent_alias)
+        return all(stream.owners.get(k) in determined for k in keys)
+
+    def _partition_uses(self, stream: _Stream, keys: Sequence[str]) -> List[StreamUse]:
+        """Stream uses whose group id is functionally determined by the
+        grouping keys: the keys contain the child columns of the use's
+        leading foreign key, or the primary key of the use's own table.
+
+        This is the paper's Q13/Q18 effect: grouping ORDERS by
+        ``o_custkey``-determined keys (or LINEITEM by ``l_orderkey``)
+        pre-partitions the aggregation along the carried D_NATION /
+        D_DATE groups."""
+        schema = self.pdb.schema
+        by_alias: Dict[str, Set[str]] = {}
+        for key in keys:
+            alias = stream.owners.get(key)
+            if alias is not None:
+                by_alias.setdefault(alias, set()).add(key)
+        result: List[StreamUse] = []
+        seen = set()
+        for alias, owned in by_alias.items():
+            scan = self.analysis.scans.get(alias)
+            if scan is None:
+                continue
+            base_cols = {strip_prefix(c, scan.prefix) for c in owned}
+            table = schema.table(scan.table)
+            pk_covered = bool(table.primary_key) and set(table.primary_key) <= base_cols
+            covered_fks = {
+                fk.name
+                for fk in schema.outgoing_foreign_keys(scan.table)
+                if set(fk.child_columns) <= base_cols
+            }
+            for use in stream.uses_for_alias(alias):
+                if use.instance_key() in seen:
+                    continue
+                if pk_covered or (use.path and use.path[0] in covered_fks):
+                    result.append(use)
+                    seen.add(use.instance_key())
+        return result
+
+    # --------------------------------------------------------- sort/limit
+    def _lower_sort(self, node: SortNode) -> _Stream:
+        inp = self._lower(node.input)
+        op = Sort(inp.op, node.keys)
+        sorted_on = tuple(c for c, asc in node.keys) if all(asc for _, asc in node.keys) else ()
+        return _Stream(op, dict(inp.columns), dict(inp.owners), sorted_on,
+                       list(inp.uses), inp.est_rows)
+
+    def _lower_limit(self, node: LimitNode) -> _Stream:
+        inp = self._lower(node.input)
+        op = Limit(inp.op, node.count)
+        return _Stream(op, dict(inp.columns), dict(inp.owners), inp.sorted_on,
+                       list(inp.uses), min(inp.est_rows, float(node.count)))
+
+
+def lower(
+    pdb: PhysicalDatabase,
+    plan,
+    options: Optional[ExecutionOptions] = None,
+) -> PhysicalPlan:
+    """Lower a logical plan against one physical database.
+
+    Pure: reads metadata only, charges nothing, and is deterministic —
+    the same (plan, scheme, options) always yields an equal physical
+    plan."""
+    node = plan.node if isinstance(plan, Plan) else plan
+    return _Lowering(pdb, options or ExecutionOptions()).lower(node)

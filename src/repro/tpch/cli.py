@@ -12,7 +12,7 @@ import sys
 from typing import List
 
 from ..planner.executor import ExecutionOptions, Executor
-from ..planner.explain import explain
+from ..planner.explain import format_physical_plan
 from .datagen import generate
 from .environment import make_environment
 from .harness import build_schemes, run_suite
@@ -94,10 +94,14 @@ def main(argv: List[str] | None = None) -> int:
                     pdb, disk=env.disk, costs=env.cost_model, options=options
                 )
                 print(f"\n=== {qname} / {scheme_name} ===")
-                # multi-stage queries: run through a runner, explain the
-                # final stage via collected notes
+                # run through a runner: it lowers every stage, so the
+                # physical plans are available alongside the actuals
                 runner = QueryRunner(executor)
                 result = fn(runner)
+                for stage, pplan in enumerate(runner.physical_plans):
+                    if len(runner.physical_plans) > 1:
+                        print(f"-- stage {stage + 1}")
+                    print(format_physical_plan(pplan))
                 print(
                     "cost: %.3f ms simulated, peak memory %.3f MB, %d rows"
                     % (

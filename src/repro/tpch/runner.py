@@ -10,10 +10,11 @@ stages (stages run one after another).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..execution.metrics import ExecutionMetrics
 from ..planner.executor import ExecutionOptions, Executor, QueryResult
+from ..planner.lowering import PhysicalPlan
 from ..schemes.base import PhysicalDatabase
 from ..storage.database import Database
 from ..storage.io_model import DiskModel
@@ -22,11 +23,17 @@ __all__ = ["QueryRunner", "run_query"]
 
 
 class QueryRunner:
-    """Executes plan stages and accumulates one query's total cost."""
+    """Executes plan stages and accumulates one query's total cost.
+
+    Stages go through the two-phase entry points — ``executor.lower``
+    then ``executor.run`` — and the lowered physical plans are kept in
+    ``physical_plans``, so callers (EXPLAIN, tests, the CLI) can inspect
+    what was planned per stage without re-running the query."""
 
     def __init__(self, executor: Executor):
         self.executor = executor
         self.metrics = ExecutionMetrics()
+        self.physical_plans: List[PhysicalPlan] = []
 
     @property
     def database(self) -> Database:
@@ -38,7 +45,9 @@ class QueryRunner:
         return 1.0 if sf is None else sf
 
     def execute(self, plan) -> QueryResult:
-        result = self.executor.execute(plan)
+        pplan = plan if isinstance(plan, PhysicalPlan) else self.executor.lower(plan)
+        self.physical_plans.append(pplan)
+        result = self.executor.run(pplan)
         self._merge(result.metrics)
         return result
 

@@ -107,8 +107,12 @@ class TestGroupRows:
         assert idx[2] == idx[3]
 
     def test_requires_keys(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="at least one key column"):
             group_rows([])
+
+    def test_requires_keys_for_tuple_input(self):
+        with pytest.raises(ValueError, match="at least one key column"):
+            group_rows(())
 
 
 class TestAggregates:

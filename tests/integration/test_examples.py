@@ -1,15 +1,14 @@
 """Every example script must run end to end (they double as docs)."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    (pathlib.Path(__file__).parents[2] / "examples").glob("*.py"),
-    key=lambda p: p.name,
-)
+REPO = pathlib.Path(__file__).parents[2]
+EXAMPLES = sorted((REPO / "examples").glob("*.py"), key=lambda p: p.name)
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
@@ -17,8 +16,10 @@ def test_example_runs(script):
     args = [sys.executable, str(script)]
     if script.name == "tpch_advisor.py":
         args.append("0.003")  # keep CI-fast
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
     completed = subprocess.run(
-        args, capture_output=True, text=True, timeout=300
+        args, capture_output=True, text=True, timeout=300, env=env
     )
     assert completed.returncode == 0, completed.stderr[-2000:]
     assert completed.stdout.strip(), "example produced no output"

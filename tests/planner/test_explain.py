@@ -1,9 +1,9 @@
-"""EXPLAIN rendering."""
+"""EXPLAIN rendering: logical trees, physical trees, analyze mode."""
 
 from repro.execution.aggregate import AggSpec
 from repro.execution.expressions import col
 from repro.planner.executor import Executor
-from repro.planner.explain import explain, format_plan
+from repro.planner.explain import explain, format_physical_plan, format_plan
 from repro.planner.logical import scan
 from repro.tpch.dates import days
 
@@ -38,17 +38,41 @@ class TestFormatPlan:
         assert "Sort [l2.l_quantity desc]" in text
 
 
+class TestFormatPhysicalPlan:
+    def test_skeleton_mirrors_tree(self, plain_db):
+        pplan = Executor(plain_db).lower(_plan())
+        text = format_physical_plan(pplan, verbose=False)
+        lines = text.splitlines()
+        assert lines[0].startswith("Limit 5")
+        assert any(l.strip().startswith("HashJoin inner ON") for l in lines)
+        assert any("Scan orders WHERE ..." in l for l in lines)
+        # the skeleton carries no rationale brackets
+        assert "[" not in text.replace("Sort [o_orderpriority]", "").replace(
+            "HashAgg [o_orderpriority] -> n=count", ""
+        )
+
+
 class TestExplain:
-    def test_bdcc_explain_mentions_strategies(self, bdcc_db, environment):
+    def test_bdcc_explain_mentions_strategies_without_running(
+        self, bdcc_db, environment
+    ):
         executor = Executor(bdcc_db, disk=environment.disk, costs=environment.cost_model)
         text = explain(executor, _plan())
         assert "scheme: bdcc" in text
         assert "decisions:" in text
         assert "pushdown" in text
+        # no execution happened: explain is lowering + rendering only
+        assert "cost:" not in text
+        assert not hasattr(executor, "metrics")
+
+    def test_explain_analyze_runs_and_reports_costs(self, bdcc_db, environment):
+        executor = Executor(bdcc_db, disk=environment.disk, costs=environment.cost_model)
+        text = explain(executor, _plan(), analyze=True)
+        assert "actual:" in text
         assert "cost:" in text and "simulated" in text
 
-    def test_plain_explain_has_costs(self, plain_db, environment):
+    def test_plain_explain_lists_strategies(self, plain_db, environment):
         executor = Executor(plain_db, disk=environment.disk)
         text = explain(executor, _plan())
         assert "scheme: plain" in text
-        assert "hash join" in text or "(none" in text
+        assert "HashJoin" in text
