@@ -239,6 +239,42 @@ class Schema:
                 return fk
         return None
 
+    # -------------------------------------------------------- introspection
+    def key_columns(self, table: str) -> Tuple[str, ...]:
+        """The primary-key columns of ``table`` (may be empty)."""
+        return tuple(self.table(table).primary_key)
+
+    def fk_child_columns(self, table: str) -> Tuple[str, ...]:
+        """Columns of ``table`` participating in any outgoing foreign
+        key, in declaration order, deduplicated — the columns whose
+        predicates and joins BDCC pushdown/propagation act on."""
+        seen: List[str] = []
+        for fk in self.outgoing_foreign_keys(table):
+            for column in fk.child_columns:
+                if column not in seen:
+                    seen.append(column)
+        return tuple(seen)
+
+    def hinted_columns(self, table: str) -> Tuple[str, ...]:
+        """Columns of ``table`` named by ``CREATE INDEX`` hints — the
+        dimension columns of Algorithm 2 (e.g. ``o_orderdate``)."""
+        seen: List[str] = []
+        for hint in self.hints_for(table):
+            for column in hint.columns:
+                if column not in seen:
+                    seen.append(column)
+        return tuple(seen)
+
+    def plain_columns(self, table: str) -> Tuple[str, ...]:
+        """Columns of ``table`` that are neither key, FK-child nor
+        hinted: the columns no clustering scheme organises."""
+        special = set(self.key_columns(table))
+        special.update(self.fk_child_columns(table))
+        special.update(self.hinted_columns(table))
+        return tuple(
+            c for c in self.table(table).column_names if c not in special
+        )
+
     def table_of_column(self, column: str) -> Optional[str]:
         """The unique table owning ``column``, or None if absent/ambiguous."""
         owners = [t.name for t in self._tables.values() if t.has_column(column)]

@@ -11,9 +11,14 @@ The reproduction targets of Figures 2 and 3 are *simulated* quantities:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-__all__ = ["MemoryTracker", "MemoryReservation", "ExecutionMetrics"]
+__all__ = [
+    "MemoryTracker",
+    "MemoryReservation",
+    "OperatorActuals",
+    "ExecutionMetrics",
+]
 
 
 class MemoryReservation:
@@ -67,6 +72,41 @@ class MemoryTracker:
 
 
 @dataclass
+class OperatorActuals:
+    """Measured per-operator quantities of one plan execution.
+
+    All charges are *exclusive*: what this operator itself consumed, with
+    its children's consumption subtracted out — so the values across a
+    plan sum to the query totals.  ``reserved_bytes`` is the blocking
+    state (hash builds, aggregation tables, sort buffers) this operator
+    held; the query-wide peak of concurrently live reservations remains
+    the Figure 3 quantity on :class:`ExecutionMetrics`.
+    """
+
+    kind: str
+    description: str
+    rows_in: int = 0
+    rows_out: int = 0
+    io_bytes: float = 0.0
+    io_accesses: int = 0
+    io_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    reserved_bytes: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.io_seconds + self.cpu_seconds
+
+    def summary(self) -> str:
+        """One-line ``(actual ...)`` annotation for EXPLAIN ANALYZE."""
+        parts = [f"rows={self.rows_in}->{self.rows_out}"]
+        parts.append(f"io={self.io_seconds * 1e3:.3f}ms")
+        parts.append(f"cpu={self.cpu_seconds * 1e3:.3f}ms")
+        parts.append(f"mem={self.reserved_bytes / 1e6:.3f}MB")
+        return "(actual " + " ".join(parts) + ")"
+
+
+@dataclass
 class ExecutionMetrics:
     """Accumulated cost of one query execution."""
 
@@ -81,6 +121,9 @@ class ExecutionMetrics:
     counters: Dict[str, float] = field(default_factory=dict)
     #: human-readable notes from the planner (strategy decisions).
     notes: List[str] = field(default_factory=list)
+    #: per-operator actuals, keyed by physical-operator identity
+    #: (``id(op)``); populated by the execution context as it runs.
+    operators: Dict[int, OperatorActuals] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -105,3 +148,7 @@ class ExecutionMetrics:
 
     def bump(self, counter: str, amount: float = 1.0) -> None:
         self.counters[counter] = self.counters.get(counter, 0.0) + amount
+
+    def actuals_for(self, op) -> Optional[OperatorActuals]:
+        """The recorded actuals of one physical operator, if it ran."""
+        return self.operators.get(id(op))

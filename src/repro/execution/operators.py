@@ -43,7 +43,7 @@ from .join_utils import (
     left_join_pairs,
     semi_join_mask,
 )
-from .metrics import ExecutionMetrics
+from .metrics import ExecutionMetrics, OperatorActuals
 from .relation import Relation, StreamUse
 
 __all__ = [
@@ -68,6 +68,34 @@ _AGG_STATE_BYTES = 8.0        # bytes per aggregate per group
 _GROUP_HEADER_BYTES = 32.0    # per-group bookkeeping of sandwiched operators
 
 
+class _OpFrame:
+    """Open attribution window of one operator invocation: snapshots of
+    the shared metrics at entry, plus the inclusive consumption of the
+    operator's children (subtracted out on exit, so per-operator actuals
+    are exclusive and sum to the query totals)."""
+
+    __slots__ = (
+        "op", "io_bytes", "io_accesses", "io_seconds", "cpu_seconds",
+        "rows_scanned", "held_bytes",
+        "child_rows", "child_io_bytes", "child_io_accesses",
+        "child_io_seconds", "child_cpu_seconds",
+    )
+
+    def __init__(self, op: "PhysicalOp", metrics: ExecutionMetrics):
+        self.op = op
+        self.io_bytes = metrics.io_bytes
+        self.io_accesses = metrics.io_accesses
+        self.io_seconds = metrics.io_seconds
+        self.cpu_seconds = metrics.cpu_seconds
+        self.rows_scanned = metrics.rows_scanned
+        self.held_bytes = 0.0
+        self.child_rows = 0
+        self.child_io_bytes = 0.0
+        self.child_io_accesses = 0
+        self.child_io_seconds = 0.0
+        self.child_cpu_seconds = 0.0
+
+
 class ExecutionContext:
     """Shared runtime state of one plan execution: the simulated device,
     the CPU cost model and the metrics being accumulated.
@@ -75,22 +103,68 @@ class ExecutionContext:
     Memory reservations for blocking state (hash builds, aggregation
     tables, sort buffers) are held until the end of the query,
     approximating the concurrent footprint of a pipelined engine; the
-    peak is the paper's Figure 3 quantity."""
+    peak is the paper's Figure 3 quantity.
+
+    The context also maintains the operator frame stack through which
+    every charge is attributed to the operator that incurred it — the
+    per-operator actuals surfaced by ``EXPLAIN ANALYZE`` and the
+    workload differential report."""
 
     def __init__(self, disk: DiskModel, costs: CostModel, metrics: ExecutionMetrics):
         self.disk = disk
         self.costs = costs
         self.metrics = metrics
         self._live_reservations: List = []
+        self._frames: List[_OpFrame] = []
 
     def hold(self, tag: str, num_bytes: float) -> None:
         if num_bytes > 0:
             self._live_reservations.append(self.metrics.memory.allocate(tag, num_bytes))
+            if self._frames:
+                self._frames[-1].held_bytes += float(num_bytes)
 
     def release_all(self) -> None:
         for reservation in self._live_reservations:
             reservation.release()
         self._live_reservations = []
+
+    # ----------------------------------------------- operator attribution
+    def enter_operator(self, op: "PhysicalOp") -> _OpFrame:
+        frame = _OpFrame(op, self.metrics)
+        self._frames.append(frame)
+        return frame
+
+    def exit_operator(self, frame: _OpFrame, output: Relation) -> None:
+        metrics = self.metrics
+        popped = self._frames.pop()
+        assert popped is frame, "operator frames must nest"
+        inclusive_io_bytes = metrics.io_bytes - frame.io_bytes
+        inclusive_io_accesses = metrics.io_accesses - frame.io_accesses
+        inclusive_io_seconds = metrics.io_seconds - frame.io_seconds
+        inclusive_cpu_seconds = metrics.cpu_seconds - frame.cpu_seconds
+        rows_out = output.num_rows
+        if frame.op.children():
+            rows_in = frame.child_rows
+        else:  # leaves read the store: rows in = rows scanned
+            rows_in = metrics.rows_scanned - frame.rows_scanned
+        metrics.operators[id(frame.op)] = OperatorActuals(
+            kind=frame.op.kind,
+            description=frame.op.describe(),
+            rows_in=rows_in,
+            rows_out=rows_out,
+            io_bytes=inclusive_io_bytes - frame.child_io_bytes,
+            io_accesses=inclusive_io_accesses - frame.child_io_accesses,
+            io_seconds=inclusive_io_seconds - frame.child_io_seconds,
+            cpu_seconds=inclusive_cpu_seconds - frame.child_cpu_seconds,
+            reserved_bytes=frame.held_bytes,
+        )
+        if self._frames:
+            parent = self._frames[-1]
+            parent.child_rows += rows_out
+            parent.child_io_bytes += inclusive_io_bytes
+            parent.child_io_accesses += inclusive_io_accesses
+            parent.child_io_seconds += inclusive_io_seconds
+            parent.child_cpu_seconds += inclusive_cpu_seconds
 
 
 @dataclass(eq=False)
@@ -103,6 +177,14 @@ class PhysicalOp:
         return ()
 
     def run(self, ctx: ExecutionContext) -> Relation:
+        """Execute this operator (recursing through ``children``) and
+        record its per-operator actuals on the context's metrics."""
+        frame = ctx.enter_operator(self)
+        rel = self.execute(ctx)
+        ctx.exit_operator(frame, rel)
+        return rel
+
+    def execute(self, ctx: ExecutionContext) -> Relation:
         raise NotImplementedError
 
     def describe(self) -> str:
@@ -155,7 +237,7 @@ class PhysicalScan(PhysicalOp):
         pred = " WHERE ..." if self.predicate is not None else ""
         return f"Scan {self.table}{alias}{pred}"
 
-    def run(self, ctx: ExecutionContext) -> Relation:
+    def execute(self, ctx: ExecutionContext) -> Relation:
         if self.replica_note:
             ctx.metrics.note(self.replica_note)
         stored = self.stored
@@ -243,7 +325,7 @@ class PhysicalFilter(PhysicalOp):
     def children(self) -> Tuple[PhysicalOp, ...]:
         return (self.input,)
 
-    def run(self, ctx: ExecutionContext) -> Relation:
+    def execute(self, ctx: ExecutionContext) -> Relation:
         rel = self.input.run(ctx)
         mask = np.asarray(self.predicate.eval(rel), dtype=bool)
         ctx.metrics.charge_cpu(
@@ -268,7 +350,7 @@ class PhysicalProject(PhysicalOp):
     def describe(self) -> str:
         return f"Project [{', '.join(name for name, _ in self.exprs)}]"
 
-    def run(self, ctx: ExecutionContext) -> Relation:
+    def execute(self, ctx: ExecutionContext) -> Relation:
         rel = self.input.run(ctx)
         columns: Dict[str, np.ndarray] = {}
         owners: Dict[str, str] = {}
@@ -326,7 +408,7 @@ class MergeJoin(_JoinOp):
 
     kind = "MergeJoin"
 
-    def run(self, ctx: ExecutionContext) -> Relation:
+    def execute(self, ctx: ExecutionContext) -> Relation:
         left = self.left.run(ctx)
         right = self.right.run(ctx)
         lkeys, rkeys = self._join_keys(left, right)
@@ -368,7 +450,7 @@ class HashJoin(_JoinOp):
     def _extra_charges(self, ctx, left, right, num_groups) -> float:
         return 0.0
 
-    def run(self, ctx: ExecutionContext) -> Relation:
+    def execute(self, ctx: ExecutionContext) -> Relation:
         left = self.left.run(ctx)
         right = self.right.run(ctx)
         lkeys, rkeys = self._join_keys(left, right)
@@ -581,7 +663,7 @@ class _AggOp(PhysicalOp):
         uses the output carries."""
         raise NotImplementedError
 
-    def run(self, ctx: ExecutionContext) -> Relation:
+    def execute(self, ctx: ExecutionContext) -> Relation:
         rel = self.input.run(ctx)
         n = rel.num_rows
         group_index, first_rows, num_groups = self._group(rel)
@@ -709,7 +791,7 @@ class Sort(PhysicalOp):
         keys = ", ".join(f"{c}{'' if asc else ' desc'}" for c, asc in self.keys)
         return f"Sort [{keys}]"
 
-    def run(self, ctx: ExecutionContext) -> Relation:
+    def execute(self, ctx: ExecutionContext) -> Relation:
         rel = self.input.run(ctx)
         n = rel.num_rows
         if n:
@@ -748,7 +830,7 @@ class Limit(PhysicalOp):
     def describe(self) -> str:
         return f"Limit {self.count}"
 
-    def run(self, ctx: ExecutionContext) -> Relation:
+    def execute(self, ctx: ExecutionContext) -> Relation:
         rel = self.input.run(ctx)
         if rel.num_rows > self.count:
             rel = rel.take(np.arange(self.count), keep_sorted=True)

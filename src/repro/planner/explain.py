@@ -7,14 +7,17 @@ rationale — merge vs sandwich vs hash joins, streaming vs sandwich vs
 hash aggregation, pushdown/minmax scan pruning and replica choice.
 
 ``explain(executor, plan, analyze=True)`` additionally *runs* the plan
-and annotates the output with the executor's runtime notes (actual group
-counts, build sizes) and the simulated IO/CPU/memory totals, like SQL's
-``EXPLAIN ANALYZE``.
+and annotates every physical node with its per-operator actuals — rows
+in/out, exclusive simulated IO and CPU seconds, and reserved operator
+memory — plus the executor's runtime notes (actual group counts, build
+sizes) and the query totals, like SQL's ``EXPLAIN ANALYZE``.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
+
+from ..execution.metrics import ExecutionMetrics
 
 from .executor import Executor
 from .logical import (
@@ -72,12 +75,19 @@ def format_plan(plan) -> str:
     return "\n".join(lines)
 
 
-def format_physical_plan(pplan: PhysicalPlan, verbose: bool = True) -> str:
+def format_physical_plan(
+    pplan: PhysicalPlan,
+    verbose: bool = True,
+    metrics: Optional[ExecutionMetrics] = None,
+) -> str:
     """ASCII tree of a physical plan.
 
     With ``verbose`` each operator's strategy rationale is appended in
     brackets; without, only the structural skeleton (operator kinds, join
     keys, grouping keys) is printed — the stable form golden tests pin.
+    With ``metrics`` (from a run of this plan) each node is annotated
+    with its per-operator actuals: rows in/out, exclusive IO/CPU time and
+    reserved memory.
     """
     lines: List[str] = []
 
@@ -86,6 +96,10 @@ def format_physical_plan(pplan: PhysicalPlan, verbose: bool = True) -> str:
         rationale = getattr(op, "rationale", "")
         if verbose and rationale:
             line += f"  [{rationale}]"
+        if metrics is not None:
+            actuals = metrics.actuals_for(op)
+            if actuals is not None:
+                line += f"  {actuals.summary()}"
         lines.append(line)
         for child in op.children():
             render(child, depth + 1)
@@ -107,9 +121,12 @@ def explain(executor: Executor, plan, analyze: bool = False) -> str:
     """Physical plan + strategy decisions; with ``analyze``, also run the
     query and report actual notes and simulated costs."""
     pplan = executor.lower(plan)
+    metrics: Optional[ExecutionMetrics] = None
+    if analyze:
+        metrics = executor.run(pplan).metrics
     parts = [
         f"scheme: {executor.pdb.scheme_name}",
-        format_physical_plan(pplan, verbose=True),
+        format_physical_plan(pplan, verbose=True, metrics=metrics),
         "",
         "decisions:",
     ]
@@ -121,8 +138,6 @@ def explain(executor: Executor, plan, analyze: bool = False) -> str:
     if not analyze:
         return "\n".join(parts)
 
-    result = executor.run(pplan)
-    metrics = result.metrics
     parts.append("")
     parts.append("actual:")
     if metrics.notes:

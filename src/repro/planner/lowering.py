@@ -30,6 +30,7 @@ without execution and for plan caching.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -95,14 +96,9 @@ class ExecutionOptions:
     max_sandwich_bits: int = 8        # cap on combined sandwich group bits
 
     def cache_key(self) -> tuple:
-        return (
-            self.enable_pushdown,
-            self.enable_propagation,
-            self.enable_minmax,
-            self.enable_sandwich,
-            self.enable_merge,
-            self.max_sandwich_bits,
-        )
+        # every field participates, so a future switch can never be
+        # forgotten and serve a stale cached lowering
+        return dataclasses.astuple(self)
 
 
 @dataclass

@@ -101,7 +101,7 @@ def main(argv: List[str] | None = None) -> int:
                 for stage, pplan in enumerate(runner.physical_plans):
                     if len(runner.physical_plans) > 1:
                         print(f"-- stage {stage + 1}")
-                    print(format_physical_plan(pplan))
+                    print(format_physical_plan(pplan, metrics=runner.metrics))
                 print(
                     "cost: %.3f ms simulated, peak memory %.3f MB, %d rows"
                     % (

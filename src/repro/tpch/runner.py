@@ -64,6 +64,8 @@ class QueryRunner:
         for key, value in stage.counters.items():
             merged.counters[key] = merged.counters.get(key, 0.0) + value
         merged.notes.extend(stage.notes)
+        # stages hold distinct operator trees; keep every stage's actuals
+        merged.operators.update(stage.operators)
 
 
 def run_query(

@@ -1,0 +1,53 @@
+"""Randomized workload: generated plans + cross-scheme differential oracle.
+
+The fifth pillar of the architecture.  The 22 TPC-H queries prove BDCC's
+equivalence claim — same results, different cost, under Plain/PK/BDCC
+and every ablation — on 22 fixed anecdotes; this package turns the claim
+into a *property* checked over an unbounded query space:
+
+* :mod:`repro.workload.generator` — a seeded, deterministic logical-plan
+  generator over any :class:`~repro.catalog.Schema`: scans with random
+  predicate shapes on FK / dimension / plain columns, FK joins in both
+  directions (N:1 and 1:N, inner/left/semi/anti, optional residuals),
+  group-bys over key subsets, sort/limit — biased toward the shapes that
+  exercise the merge, sandwich and hash paths;
+* :mod:`repro.workload.reference` — a naive reference evaluator that
+  computes each logical plan directly on the base numpy arrays,
+  independent of schemes, lowering and the physical operators;
+* :mod:`repro.workload.differential` — the differential runner: every
+  generated plan is executed under Plain/PK/BDCC x the ablation grid and
+  compared against the reference; any divergence fails loudly with the
+  seed, the logical plan and the per-scheme physical plans annotated
+  with their per-operator actuals.
+
+Command line
+------------
+
+``python -m repro.workload --seed S --queries N`` generates and checks
+``N`` plans (options: ``--sf`` scale factor, ``--datagen-seed``,
+``--schemes plain,pk,bdcc``, ``--variants default|all``, ``--fail-fast``,
+``--verbose``).  Exit status is non-zero when any divergence was found;
+each divergence report carries everything needed to reproduce it:
+the ``--seed``, the query index, and the data flags (``--sf``,
+``--datagen-seed``) the plan's sampled literals depend on.
+
+Example::
+
+    python -m repro.workload --seed 0 --queries 200
+
+runs the acceptance sweep: 200 random plans x 3 schemes x the ablation
+grid, all compared against the scheme-independent reference.
+"""
+
+from .differential import WorkloadReport, ablation_variants, run_differential
+from .generator import GeneratedQuery, PlanGenerator
+from .reference import evaluate_reference
+
+__all__ = [
+    "GeneratedQuery",
+    "PlanGenerator",
+    "WorkloadReport",
+    "ablation_variants",
+    "evaluate_reference",
+    "run_differential",
+]

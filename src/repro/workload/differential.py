@@ -1,0 +1,339 @@
+"""Cross-scheme differential oracle over generated plans.
+
+Every generated plan is evaluated once by the naive reference
+(:mod:`repro.workload.reference`) and then executed under each physical
+scheme x each ablation variant; normalized result multisets must agree
+everywhere.  A divergence fails loudly: the report carries the seed and
+query index (which fully determine the plan), the logical plan, and the
+offending scheme/variant's physical plan annotated with its
+per-operator actuals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..execution.cost import CostModel
+from ..planner.executor import ExecutionOptions, Executor
+from ..planner.explain import format_physical_plan, format_plan
+from ..schemes.base import PhysicalDatabase
+from ..storage.io_model import DiskModel
+from .generator import PlanGenerator
+from .reference import evaluate_reference
+
+__all__ = [
+    "Divergence",
+    "WorkloadReport",
+    "ablation_variants",
+    "normalized_rows",
+    "rows_match",
+    "run_differential",
+]
+
+_SWITCHES = (
+    "enable_pushdown",
+    "enable_propagation",
+    "enable_minmax",
+    "enable_sandwich",
+    "enable_merge",
+)
+
+
+def ablation_variants(full: bool = True) -> Dict[str, ExecutionOptions]:
+    """The option grid a differential run sweeps: the default plan,
+    each feature switched off on its own, a narrow sandwich-bit budget,
+    and the everything-off baseline."""
+    variants = {"default": ExecutionOptions()}
+    if not full:
+        return variants
+    for switch in _SWITCHES:
+        variants["no-" + switch[len("enable_"):]] = ExecutionOptions(**{switch: False})
+    variants["narrow-sandwich"] = ExecutionOptions(max_sandwich_bits=2)
+    variants["baseline"] = ExecutionOptions(
+        **{switch: False for switch in _SWITCHES}
+    )
+    return variants
+
+
+# ---------------------------------------------------------- normalization
+_NAN_SENTINEL = -8.98846567431158e307   # distinct, sortable stand-ins
+#: comparison tolerance; the sort-key rounding granule (7 significant
+#: digits: at most 1e-6 relative, at mantissa ~1) stays at or below
+#: half this, so two rows that can end up ordered differently on the
+#: two sides are themselves within tolerance of each other —
+#: misalignment can never cause a spurious mismatch.
+_REL_TOL = 2e-6
+_ABS_TOL = 2e-6
+
+
+def _normalize_column(array: np.ndarray) -> list:
+    """Comparable canonical form of one output column.  Floats are *not*
+    rounded — any digit-rounding can straddle a boundary and turn
+    summation-order noise into a spurious mismatch; instead row
+    comparison is tolerance-based (see :func:`rows_match`).  NaN is
+    replaced by a sortable sentinel, -0.0 by 0.0."""
+    if array.dtype.kind == "f":
+        values = array.astype(np.float64)
+        values = np.where(values == 0, 0.0, values)  # -0.0 -> 0.0
+        values = np.where(np.isnan(values), _NAN_SENTINEL, values)
+        return values.tolist()
+    if array.dtype.kind in "iub":
+        return array.astype(np.int64).tolist()
+    return [str(v) for v in array.tolist()]
+
+
+def _sort_key_column(array: np.ndarray, raw: list) -> list:
+    """Row-ordering form of one column: floats rounded to 7 significant
+    digits so summation-order noise (~1e-11 relative) cannot reorder
+    rows across the two sides unless the rows are within comparison
+    tolerance anyway."""
+    if array.dtype.kind != "f":
+        return raw
+    values = np.asarray(raw, dtype=np.float64)
+    magnitude = np.abs(values)
+    exponent = np.zeros(len(values))
+    nonzero = magnitude > 0
+    with np.errstate(divide="ignore"):
+        exponent[nonzero] = np.floor(np.log10(magnitude[nonzero]))
+    scale = np.power(10.0, 6.0 - exponent)
+    return (np.round(values * scale) / scale).tolist()
+
+
+def normalized_rows(columns: Dict[str, np.ndarray], names: Sequence[str]) -> List[tuple]:
+    """Canonically ordered multiset of rows over ``names`` (column order
+    by name, row order by rounded sort keys, so neither engine/reference
+    column orderings nor scheme-dependent row orderings matter)."""
+    ordered = sorted(names)
+    arrays = [np.asarray(columns[n]) for n in ordered]
+    raw_cols = [_normalize_column(a) for a in arrays]
+    if not raw_cols:
+        return []
+    key_cols = [_sort_key_column(a, raw) for a, raw in zip(arrays, raw_cols)]
+    rows = list(zip(*raw_cols))
+    keys = list(zip(*key_cols))
+    order = sorted(range(len(rows)), key=keys.__getitem__)
+    return [rows[i] for i in order]
+
+
+def _values_match(a, b) -> bool:
+    if isinstance(a, float) or isinstance(b, float):
+        return math.isclose(a, b, rel_tol=_REL_TOL, abs_tol=_ABS_TOL)
+    return a == b
+
+
+def rows_match(expected: List[tuple], got: List[tuple]) -> bool:
+    """Pairwise comparison of two sorted row multisets; floats compare
+    with relative/absolute tolerance (the reference's pairwise ``np.sum``
+    and the engine's per-row accumulation round differently, and row
+    order — hence accumulation order — differs per scheme)."""
+    if len(expected) != len(got):
+        return False
+    for expected_row, got_row in zip(expected, got):
+        if len(expected_row) != len(got_row):
+            return False
+        for a, b in zip(expected_row, got_row):
+            if not _values_match(a, b):
+                return False
+    return True
+
+
+# -------------------------------------------------------------- reporting
+@dataclass
+class Divergence:
+    """One (query, scheme, variant) whose result differs from the
+    reference; self-contained for reproduction.  ``repro_flags`` pins
+    the database the plan was generated against (predicate literals are
+    sampled from the data, so the plan depends on the data too)."""
+
+    seed: int
+    index: int
+    scheme: str
+    variant: str
+    description: str
+    logical_plan: str
+    physical_plan: str
+    detail: str
+    repro_flags: str = ""
+
+    def render(self) -> str:
+        flags = f" {self.repro_flags}" if self.repro_flags else ""
+        return "\n".join(
+            [
+                f"DIVERGENCE {self.description} under scheme={self.scheme} "
+                f"variant={self.variant}",
+                f"  reproduce: python -m repro.workload --seed {self.seed} "
+                f"--queries {self.index + 1}{flags}",
+                "  logical plan:",
+                _indent(self.logical_plan, 4),
+                "  physical plan (with per-operator actuals):",
+                _indent(self.physical_plan, 4),
+                "  mismatch:",
+                _indent(self.detail, 4),
+            ]
+        )
+
+
+def _indent(text: str, spaces: int) -> str:
+    pad = " " * spaces
+    return "\n".join(pad + line for line in text.splitlines())
+
+
+@dataclass
+class WorkloadReport:
+    """Outcome of one differential sweep."""
+
+    seed: int
+    queries: int
+    executions: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+    #: physical-operator kind -> times planned (default variant, all schemes)
+    strategies: Dict[str, int] = field(default_factory=dict)
+    #: per-operator-kind actuals accumulated over the default-variant runs
+    operator_totals: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def render(self) -> str:
+        lines = [
+            f"workload differential: seed={self.seed} queries={self.queries} "
+            f"executions={self.executions} divergences={len(self.divergences)}"
+        ]
+        if self.strategies:
+            strategies = ", ".join(
+                f"{kind}={count}" for kind, count in sorted(self.strategies.items())
+            )
+            lines.append(f"strategies planned: {strategies}")
+        if self.operator_totals:
+            lines.append("per-operator actuals (default variant, all schemes):")
+            lines.append(
+                f"  {'operator':<14}{'calls':>8}{'rows out':>12}"
+                f"{'io ms':>10}{'cpu ms':>10}{'mem MB':>10}"
+            )
+            for kind in sorted(self.operator_totals):
+                totals = self.operator_totals[kind]
+                lines.append(
+                    f"  {kind:<14}{int(totals['calls']):>8}"
+                    f"{int(totals['rows_out']):>12}"
+                    f"{totals['io_seconds'] * 1e3:>10.2f}"
+                    f"{totals['cpu_seconds'] * 1e3:>10.2f}"
+                    f"{totals['reserved_bytes'] / 1e6:>10.2f}"
+                )
+        for divergence in self.divergences:
+            lines.append("")
+            lines.append(divergence.render())
+        lines.append("PASS" if self.ok else "FAIL")
+        return "\n".join(lines)
+
+
+# ------------------------------------------------------------------ runner
+def _diff_detail(expected: List[tuple], got: List[tuple]) -> str:
+    lines = [f"expected {len(expected)} rows, got {len(got)} rows"]
+    shown = 0
+    for i in range(min(len(expected), len(got))):
+        if shown >= 3:
+            lines.append("...")
+            break
+        if not all(_values_match(a, b) for a, b in zip(expected[i], got[i])):
+            lines.append(f"row {i}: expected {expected[i]}")
+            lines.append(f"row {i}: got      {got[i]}")
+            shown += 1
+    if len(expected) != len(got):
+        longer, label = (expected, "missing") if len(expected) > len(got) else (got, "unexpected")
+        for row in longer[min(len(expected), len(got)):][:3]:
+            lines.append(f"{label}: {row}")
+    return "\n".join(lines)
+
+
+def run_differential(
+    physical_dbs: Dict[str, PhysicalDatabase],
+    seed: int = 0,
+    num_queries: int = 50,
+    variants: Optional[Dict[str, ExecutionOptions]] = None,
+    disk: Optional[DiskModel] = None,
+    costs: Optional[CostModel] = None,
+    fail_fast: bool = False,
+    progress: Optional[Callable[[int, int], None]] = None,
+    repro_flags: str = "",
+) -> WorkloadReport:
+    """Generate ``num_queries`` plans from ``seed`` and check every
+    scheme x variant against the scheme-independent reference.
+
+    ``repro_flags`` names the extra CLI flags (``--sf``,
+    ``--datagen-seed``) that rebuild the same database, so divergence
+    reports reproduce exactly."""
+    variants = variants or ablation_variants()
+    db = next(iter(physical_dbs.values())).database
+    generator = PlanGenerator(db)
+    executors: Dict[Tuple[str, str], Executor] = {
+        (scheme, variant): Executor(pdb, disk=disk, costs=costs, options=options)
+        for scheme, pdb in physical_dbs.items()
+        for variant, options in variants.items()
+    }
+    report = WorkloadReport(seed=seed, queries=num_queries)
+
+    for index in range(num_queries):
+        query = generator.generate(seed, index)
+        reference = evaluate_reference(db, query.plan)
+        expected_names = sorted(reference.visible_names)
+        expected = normalized_rows(reference.columns, expected_names)
+
+        for (scheme, variant), executor in executors.items():
+            result = executor.execute(query.plan)
+            report.executions += 1
+            got_names = sorted(result.relation.column_names)
+            if got_names != expected_names:
+                detail = f"column mismatch: expected {expected_names}, got {got_names}"
+                got = None
+            else:
+                got = normalized_rows(result.relation.columns, got_names)
+                detail = None if rows_match(expected, got) else _diff_detail(expected, got)
+            if detail is not None:
+                pplan = executor.lower(query.plan)
+                report.divergences.append(
+                    Divergence(
+                        seed=seed,
+                        index=index,
+                        scheme=scheme,
+                        variant=variant,
+                        description=query.description,
+                        logical_plan=format_plan(query.plan),
+                        physical_plan=format_physical_plan(
+                            pplan, verbose=True, metrics=result.metrics
+                        ),
+                        detail=detail,
+                        repro_flags=repro_flags,
+                    )
+                )
+                if fail_fast:
+                    return report
+            elif variant == "default":
+                pplan = executor.lower(query.plan)
+                for op in pplan.operators():
+                    report.strategies[op.kind] = report.strategies.get(op.kind, 0) + 1
+                    actuals = result.metrics.actuals_for(op)
+                    if actuals is None:
+                        continue
+                    totals = report.operator_totals.setdefault(
+                        op.kind,
+                        {
+                            "calls": 0.0,
+                            "rows_out": 0.0,
+                            "io_seconds": 0.0,
+                            "cpu_seconds": 0.0,
+                            "reserved_bytes": 0.0,
+                        },
+                    )
+                    totals["calls"] += 1
+                    totals["rows_out"] += actuals.rows_out
+                    totals["io_seconds"] += actuals.io_seconds
+                    totals["cpu_seconds"] += actuals.cpu_seconds
+                    totals["reserved_bytes"] += actuals.reserved_bytes
+        if progress is not None:
+            progress(index + 1, num_queries)
+    return report

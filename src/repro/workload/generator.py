@@ -1,0 +1,493 @@
+"""Seeded random logical-plan generator over any schema.
+
+Each plan is a random-but-*valid* composition of the logical algebra:
+a base scan, up to three foreign-key joins (child->parent N:1 or
+parent->child 1:N; inner, left, semi or anti, occasionally with a
+residual condition), predicates with random shapes over FK / dimension /
+plain columns (literals sampled from the actual data so selectivities
+vary from empty to full), then either a group-by over key subsets or an
+explicit projection, and optionally sort and limit.
+
+Generation is deterministic in ``(seed, index)`` *for a given
+database* (predicate literals are sampled from the data): a divergence
+report needs those two numbers plus the data-generation parameters to
+be reproduced.  The shapes are biased
+toward what the planner's strategy decisions key on — joins over
+declared FKs (merge joins under PK, sandwich joins under BDCC),
+group-bys over FK child columns (sandwich aggregation), predicates on
+dimension-hinted columns (pushdown + propagation).
+
+Differential-comparison invariants the generator maintains:
+
+* columns made nullable by a left join never reach the output raw and
+  are only ever aggregated with ``count`` (valid-mask semantics); they
+  are also never used as join keys, group keys or sort keys;
+* ``LIMIT`` only ever follows a *total-order* sort (the sort keys
+  contain all group-by keys, or the primary key of the alias whose rows
+  the output is in 1:1 correspondence with), so the limited prefix is
+  scheme-independent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..catalog import Schema
+from ..execution.aggregate import AggSpec
+from ..execution.expressions import (
+    Between,
+    Cmp,
+    Col,
+    Expr,
+    InList,
+    Like,
+    Not,
+    Or,
+)
+from ..planner.logical import Plan, scan
+from ..storage.database import Database
+
+__all__ = ["GeneratedQuery", "PlanGenerator"]
+
+_CMP_OPS = ("<", "<=", ">", ">=", "==", "!=")
+_MAX_JOINS = 3
+
+
+@dataclass
+class GeneratedQuery:
+    """One generated query: the plan plus how to regenerate it."""
+
+    seed: int
+    index: int
+    plan: Plan
+    description: str
+
+
+def _choice(rng: np.random.RandomState, items: Sequence):
+    return items[int(rng.randint(len(items)))]
+
+
+def _sample_value(rng: np.random.RandomState, values: np.ndarray):
+    """One literal sampled from a column's actual values, as a python
+    scalar (so plans repr cleanly and expressions broadcast)."""
+    raw = values[int(rng.randint(len(values)))]
+    return raw.item() if hasattr(raw, "item") else raw
+
+
+@dataclass
+class _Stream:
+    """Generator-side view of the plan built so far."""
+
+    plan: Plan
+    #: stream column name -> (alias, base column name)
+    columns: Dict[str, Tuple[str, str]]
+    #: alias -> base table
+    aliases: Dict[str, str]
+    #: aliases whose columns may be NULL (right side of a left join)
+    nullable: Set[str]
+    #: alias whose primary key is unique per output row (enables a
+    #: total-order sort on non-aggregated plans), or None
+    granular: Optional[str]
+    #: group-by keys, once the plan aggregated (None before/otherwise)
+    group_keys: Optional[List[str]] = None
+    #: projected primary-key columns, once the plan projected
+    projected_pk: List[str] = dataclasses.field(default_factory=list)
+
+    def prefix(self, alias: str) -> str:
+        return "" if alias == self.aliases[alias] else f"{alias}."
+
+    def non_nullable_columns(self) -> List[str]:
+        return [c for c, (a, _) in self.columns.items() if a not in self.nullable]
+
+    def nullable_columns(self) -> List[str]:
+        return [c for c, (a, _) in self.columns.items() if a in self.nullable]
+
+
+class PlanGenerator:
+    """Draws random valid plans against one logical database.
+
+    The database provides both the schema (tables, keys, FKs, hints —
+    via the catalog's introspection helpers) and the data the literal
+    sampler draws predicate constants from.
+    """
+
+    def __init__(self, db: Database):
+        self.db = db
+        self.schema: Schema = db.schema
+        self._tables = [t for t in db.loaded_tables if db.num_rows(t) > 0]
+        if not self._tables:
+            raise ValueError("database has no populated tables to generate over")
+
+    # -------------------------------------------------------------- public
+    def generate(self, seed: int, index: int) -> GeneratedQuery:
+        """The plan for ``(seed, index)``; deterministic."""
+        rng = np.random.RandomState([seed & 0x7FFFFFFF, index & 0x7FFFFFFF])
+        stream = self._base_scan(rng)
+        num_joins = int(rng.choice([0, 1, 2, 3], p=[0.2, 0.3, 0.3, 0.2]))
+        joins = 0
+        for _ in range(num_joins):
+            if self._add_join(rng, stream):
+                joins += 1
+        aggregated = self._add_aggregate_or_project(rng, stream)
+        limited = self._add_sort_limit(rng, stream, aggregated)
+        shape = [f"{len(stream.aliases)} scans", f"{joins} joins"]
+        shape.append("agg" if aggregated else "project")
+        if limited:
+            shape.append("limit")
+        description = f"seed={seed} index={index}: " + ", ".join(shape)
+        return GeneratedQuery(seed, index, stream.plan, description)
+
+    # ----------------------------------------------------------- base scan
+    def _base_scan(self, rng: np.random.RandomState) -> _Stream:
+        table = _choice(rng, self._tables)
+        predicate = None
+        if rng.random_sample() < 0.55:
+            predicate = self._make_predicate(rng, table, "")
+        plan = scan(table, predicate=predicate)
+        columns = {
+            c: (table, c) for c in self.schema.table(table).column_names
+        }
+        return _Stream(
+            plan=plan,
+            columns=columns,
+            aliases={table: table},
+            nullable=set(),
+            granular=table if self.schema.key_columns(table) else None,
+        )
+
+    # --------------------------------------------------------------- joins
+    def _join_candidates(self, stream: _Stream):
+        """(direction, anchor alias, fk) edges the plan can still grow
+        along; aliases with nullable columns cannot anchor a join (their
+        key columns may be NULL)."""
+        candidates = []
+        for alias, table in stream.aliases.items():
+            if alias in stream.nullable:
+                continue
+            prefix = stream.prefix(alias)
+            for fk in self.schema.outgoing_foreign_keys(table):
+                if all(prefix + c in stream.columns for c in fk.child_columns):
+                    candidates.append(("up", alias, fk))
+            for fk in self.schema.incoming_foreign_keys(table):
+                if fk.child_table not in self._tables:
+                    continue
+                if all(prefix + c in stream.columns for c in fk.parent_columns):
+                    candidates.append(("down", alias, fk))
+        return candidates
+
+    def _new_alias(self, stream: _Stream, table: str) -> str:
+        if table not in stream.aliases:
+            return table
+        n = 2
+        while f"{table}{n}" in stream.aliases:
+            n += 1
+        return f"{table}{n}"
+
+    def _add_join(self, rng: np.random.RandomState, stream: _Stream) -> bool:
+        candidates = self._join_candidates(stream)
+        if not candidates:
+            return False
+        direction, anchor, fk = _choice(rng, candidates)
+        new_table = fk.parent_table if direction == "up" else fk.child_table
+        alias = self._new_alias(stream, new_table)
+        new_prefix = "" if alias == new_table else f"{alias}."
+        anchor_prefix = stream.prefix(anchor)
+
+        predicate = None
+        if rng.random_sample() < 0.55:
+            predicate = self._make_predicate(rng, new_table, new_prefix)
+        right = scan(new_table, alias=alias, predicate=predicate)
+
+        if direction == "up":
+            on = [
+                (anchor_prefix + c, new_prefix + p)
+                for c, p in zip(fk.child_columns, fk.parent_columns)
+            ]
+            how = _choice(rng, ["inner"] * 11 + ["semi"] * 3 + ["anti"] * 2 + ["left"] * 4)
+        else:
+            on = [
+                (anchor_prefix + p, new_prefix + c)
+                for c, p in zip(fk.child_columns, fk.parent_columns)
+            ]
+            if anchor == stream.granular:
+                how = _choice(rng, ["inner"] * 12 + ["semi"] * 3 + ["anti"] * 2 + ["left"] * 3)
+            else:
+                # a 1:N expansion off a non-granular alias would multiply
+                # already-multiplied rows (quadratic); only the
+                # existence-checking kinds stay row-linear
+                how = _choice(rng, ["semi"] * 3 + ["anti"] * 2)
+
+        residual = None
+        if how in ("inner", "semi", "anti") and rng.random_sample() < 0.15:
+            residual = self._make_residual(rng, stream, new_table, new_prefix)
+
+        stream.plan = stream.plan.join(right, on=on, how=how, residual=residual)
+        stream.aliases[alias] = new_table
+        if how in ("inner", "left"):
+            for c in self.schema.table(new_table).column_names:
+                stream.columns[new_prefix + c] = (alias, c)
+        if how == "left":
+            stream.nullable.add(alias)
+        # output-row uniqueness bookkeeping (see module docstring)
+        if direction == "down":
+            if how == "inner":
+                stream.granular = alias if stream.granular == anchor else None
+            elif how == "left":
+                stream.granular = None
+        return True
+
+    def _make_residual(
+        self, rng: np.random.RandomState, stream: _Stream, new_table: str, new_prefix: str
+    ) -> Optional[Expr]:
+        """A non-equi condition over joined rows: numeric column vs a
+        sampled literal.  Candidates come from the current stream's
+        non-nullable columns and the newly scanned table."""
+        candidates: List[Tuple[str, str, str]] = [
+            (name, alias, base)
+            for name, (alias, base) in stream.columns.items()
+            if alias not in stream.nullable
+        ]
+        candidates += [
+            (new_prefix + c, None, c)  # type: ignore[list-item]
+            for c in self.schema.table(new_table).column_names
+        ]
+        numeric = []
+        for name, alias, base in candidates:
+            table = new_table if alias is None else stream.aliases[alias]
+            if self.db.column(table, base).dtype.kind in "iuf":
+                numeric.append((name, table, base))
+        if not numeric:
+            return None
+        name, table, base = _choice(rng, numeric)
+        literal = _sample_value(rng, self.db.column(table, base))
+        return Cmp(_choice(rng, ("<", "<=", ">", ">=")), Col(name), _lit(literal))
+
+    # ---------------------------------------------------------- predicates
+    def _predicate_columns(self, table: str) -> List[str]:
+        """Predicate targets, biased toward the columns clustering acts
+        on: FK child columns and dimension-hinted columns first."""
+        pool: List[str] = []
+        pool += 3 * list(self.schema.fk_child_columns(table))
+        pool += 3 * list(self.schema.hinted_columns(table))
+        pool += 2 * list(self.schema.key_columns(table))
+        pool += 1 * list(self.schema.plain_columns(table))
+        return pool
+
+    def _make_predicate(self, rng: np.random.RandomState, table: str, prefix: str) -> Optional[Expr]:
+        pool = self._predicate_columns(table)
+        if not pool:
+            return None
+        conjuncts: List[Expr] = []
+        for _ in range(1 + int(rng.random_sample() < 0.35)):
+            conjunct = self._make_conjunct(rng, table, prefix, _choice(rng, pool))
+            if conjunct is not None:
+                conjuncts.append(conjunct)
+        if not conjuncts:
+            return None
+        predicate = conjuncts[0]
+        for extra in conjuncts[1:]:
+            predicate = predicate & extra
+        return predicate
+
+    def _make_conjunct(
+        self, rng: np.random.RandomState, table: str, prefix: str, column: str
+    ) -> Optional[Expr]:
+        values = self.db.column(table, column)
+        name = prefix + column
+        if values.dtype.kind in "iuf":
+            shape = rng.random_sample()
+            if shape < 0.4:
+                low = _sample_value(rng, values)
+                high = _sample_value(rng, values)
+                if high < low:
+                    low, high = high, low
+                expr: Expr = Between(Col(name), _lit(low), _lit(high))
+            elif shape < 0.85:
+                expr = Cmp(_choice(rng, _CMP_OPS), Col(name), _lit(_sample_value(rng, values)))
+            else:
+                picks = sorted({_sample_value(rng, values) for _ in range(int(rng.randint(1, 5)))})
+                expr = InList(Col(name), picks)
+        else:
+            shape = rng.random_sample()
+            sample = str(_sample_value(rng, values))
+            if shape < 0.4:
+                expr = Cmp("==", Col(name), _lit(sample))
+            elif shape < 0.7:
+                picks = sorted({str(_sample_value(rng, values)) for _ in range(int(rng.randint(1, 4)))})
+                expr = InList(Col(name), picks)
+            else:
+                fragment = sample[: max(int(rng.randint(2, 5)), 1)]
+                if not fragment or "_" in fragment or "%" in fragment:
+                    expr = Cmp("!=", Col(name), _lit(sample))
+                else:
+                    pattern = fragment + "%" if rng.random_sample() < 0.5 else "%" + fragment + "%"
+                    expr = Like(Col(name), pattern)
+        wrap = rng.random_sample()
+        if wrap < 0.1:
+            return Not(expr)
+        if wrap < 0.2:
+            other = self._make_conjunct(rng, table, prefix, column)
+            if other is not None and not isinstance(other, (Or, Not)):
+                return Or(expr, other)
+        return expr
+
+    # --------------------------------------------------- aggregate/project
+    def _grouping_pool(self, stream: _Stream) -> List[str]:
+        """Group-key candidates over key subsets: FK child columns and
+        primary keys weigh heaviest (they are what sandwich/streaming
+        aggregation keys on), hinted and plain columns ride along."""
+        pool: List[str] = []
+        for alias, table in stream.aliases.items():
+            if alias in stream.nullable:
+                continue
+            prefix = stream.prefix(alias)
+            for c in self.schema.fk_child_columns(table):
+                pool += 3 * [prefix + c]
+            for c in self.schema.key_columns(table):
+                pool += 2 * [prefix + c]
+            for c in self.schema.hinted_columns(table):
+                pool += 2 * [prefix + c]
+            for c in self.schema.plain_columns(table):
+                pool.append(prefix + c)
+        return [c for c in pool if c in stream.columns]
+
+    def _numeric_columns(self, stream: _Stream, names: Sequence[str]) -> List[str]:
+        out = []
+        for name in names:
+            alias, base = stream.columns[name]
+            if self.db.column(stream.aliases[alias], base).dtype.kind in "iuf":
+                out.append(name)
+        return out
+
+    def _add_aggregate_or_project(self, rng: np.random.RandomState, stream: _Stream) -> bool:
+        """Finish the dataflow with a group-by (returns True) or an
+        explicit projection (returns False); either way the plan's
+        output columns are exactly known, never nullable raw."""
+        if rng.random_sample() < 0.65:
+            if self._add_aggregate(rng, stream):
+                return True
+        self._add_projection(rng, stream)
+        return False
+
+    def _add_aggregate(self, rng: np.random.RandomState, stream: _Stream) -> bool:
+        non_null = stream.non_nullable_columns()
+        if not non_null:
+            return False
+        scalar = rng.random_sample() < 0.12
+        keys: List[str] = []
+        if not scalar:
+            pool = self._grouping_pool(stream)
+            if not pool:
+                return False
+            wanted = int(rng.randint(1, 4))
+            for _ in range(8):
+                if len(keys) >= wanted:
+                    break
+                candidate = _choice(rng, pool)
+                if candidate not in keys:
+                    keys.append(candidate)
+            if not keys:
+                return False
+
+        numeric = self._numeric_columns(stream, non_null)
+        nullable = stream.nullable_columns()
+        aggs: List[AggSpec] = []
+        for i in range(int(rng.randint(1, 4))):
+            name = f"agg_{i}"
+            roll = rng.random_sample()
+            if roll < 0.15 or (not numeric and not nullable):
+                aggs.append(AggSpec(name, "count"))
+            elif nullable and roll < 0.4:
+                # the valid-mask path: count a left-join-nullable column
+                aggs.append(AggSpec(name, "count", Col(_choice(rng, nullable))))
+            elif numeric and roll < 0.85:
+                fn = _choice(rng, ("sum", "avg", "min", "max"))
+                column = Col(_choice(rng, numeric))
+                expr: Expr = column
+                if fn == "sum" and len(numeric) > 1 and rng.random_sample() < 0.3:
+                    expr = column * Col(_choice(rng, numeric))
+                aggs.append(AggSpec(name, fn, expr))
+            else:
+                aggs.append(AggSpec(name, "count_distinct", Col(_choice(rng, non_null))))
+        stream.plan = stream.plan.groupby(keys, aggs)
+        stream.columns = {k: stream.columns[k] for k in keys}
+        stream.nullable = set()
+        stream.granular = None
+        stream.group_keys = list(keys)
+        return True
+
+    def _add_projection(self, rng: np.random.RandomState, stream: _Stream) -> None:
+        visible = stream.non_nullable_columns()
+        must_keep: List[str] = []
+        if stream.granular and stream.granular in stream.aliases:
+            prefix = stream.prefix(stream.granular)
+            pk = self.schema.key_columns(stream.aliases[stream.granular])
+            must_keep = [prefix + c for c in pk if prefix + c in stream.columns]
+            if len(must_keep) != len(pk):
+                must_keep = []
+                stream.granular = None
+        elif stream.granular:
+            stream.granular = None
+        wanted = int(rng.randint(2, 7))
+        chosen = list(must_keep)
+        for _ in range(16):
+            if len(chosen) >= wanted or len(chosen) >= len(visible):
+                break
+            candidate = _choice(rng, visible)
+            if candidate not in chosen:
+                chosen.append(candidate)
+        if not chosen:
+            chosen = visible[:1] if visible else list(stream.columns)[:1]
+        items: List[Tuple[str, Expr]] = [(name, Col(name)) for name in chosen]
+        numeric = self._numeric_columns(stream, [c for c in chosen])
+        if numeric and rng.random_sample() < 0.3:
+            base = Col(_choice(rng, numeric))
+            computed = base * 2 if rng.random_sample() < 0.5 else base + Col(_choice(rng, numeric))
+            items.append(("expr_0", computed))
+        stream.plan = stream.plan.project_items(items)
+        stream.columns = {
+            name: stream.columns.get(name, ("?", name)) for name, _ in items
+        }
+        stream.projected_pk = must_keep
+
+    # ----------------------------------------------------------sort/limit
+    def _add_sort_limit(self, rng: np.random.RandomState, stream: _Stream, aggregated: bool) -> bool:
+        if aggregated:
+            keys = list(stream.group_keys or [])
+            if not keys or rng.random_sample() >= 0.65:
+                return False
+            rng.shuffle(keys)
+            sort_keys = [(k, bool(rng.randint(2))) for k in keys]
+            stream.plan = stream.plan.sort(sort_keys)
+            if rng.random_sample() < 0.5:
+                stream.plan = stream.plan.limit(int(rng.randint(1, 31)))
+                return True
+            return False
+        if rng.random_sample() >= 0.5:
+            return False
+        names = list(stream.columns)
+        pk = list(stream.projected_pk)
+        if pk:
+            extras = [n for n in names if n not in pk]
+            rng.shuffle(extras)
+            lead = extras[: int(rng.randint(0, 3))]
+            sort_keys = [(k, bool(rng.randint(2))) for k in lead + pk]
+            stream.plan = stream.plan.sort(sort_keys)
+            if rng.random_sample() < 0.5:
+                stream.plan = stream.plan.limit(int(rng.randint(1, 31)))
+                return True
+            return False
+        rng.shuffle(names)
+        lead = names[: max(int(rng.randint(1, 3)), 1)]
+        stream.plan = stream.plan.sort([(k, bool(rng.randint(2))) for k in lead])
+        return False
+
+
+def _lit(value):
+    from ..execution.expressions import Const
+
+    return Const(value)

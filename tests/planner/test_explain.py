@@ -1,5 +1,7 @@
 """EXPLAIN rendering: logical trees, physical trees, analyze mode."""
 
+import pytest
+
 from repro.execution.aggregate import AggSpec
 from repro.execution.expressions import col
 from repro.planner.executor import Executor
@@ -70,6 +72,78 @@ class TestExplain:
         text = explain(executor, _plan(), analyze=True)
         assert "actual:" in text
         assert "cost:" in text and "simulated" in text
+
+
+class TestPerOperatorActuals:
+    def _run(self, pdb, environment):
+        executor = Executor(pdb, disk=environment.disk, costs=environment.cost_model)
+        pplan = executor.lower(_plan())
+        result = executor.run(pplan)
+        return executor, pplan, result
+
+    def test_every_physical_node_annotated(self, bdcc_db, environment):
+        executor = Executor(bdcc_db, disk=environment.disk, costs=environment.cost_model)
+        num_ops = len(list(executor.lower(_plan()).operators()))
+        text = explain(executor, _plan(), analyze=True)
+        assert text.count("(actual ") == num_ops
+        assert "rows=" in text and "io=" in text and "cpu=" in text and "mem=" in text
+
+    def test_plain_explain_has_no_actuals(self, bdcc_db, environment):
+        executor = Executor(bdcc_db, disk=environment.disk, costs=environment.cost_model)
+        assert "(actual " not in explain(executor, _plan())
+
+    def test_actuals_recorded_for_every_operator(self, plain_db, environment):
+        _, pplan, result = self._run(plain_db, environment)
+        for op in pplan.operators():
+            assert result.metrics.actuals_for(op) is not None
+
+    def test_exclusive_charges_sum_to_totals(self, bdcc_db, environment):
+        _, pplan, result = self._run(bdcc_db, environment)
+        metrics = result.metrics
+        actuals = [metrics.actuals_for(op) for op in pplan.operators()]
+        assert sum(a.io_seconds for a in actuals) == pytest.approx(metrics.io_seconds)
+        assert sum(a.cpu_seconds for a in actuals) == pytest.approx(metrics.cpu_seconds)
+        assert sum(a.io_bytes for a in actuals) == pytest.approx(metrics.io_bytes)
+
+    def test_rows_flow(self, plain_db, environment):
+        _, pplan, result = self._run(plain_db, environment)
+        root = pplan.root
+        root_actuals = result.metrics.actuals_for(root)
+        assert root_actuals.rows_out == result.metrics.rows_produced
+        # a parent's rows_in is the sum of its children's rows_out
+        for op in pplan.operators():
+            children = op.children()
+            if not children:
+                continue
+            parent = result.metrics.actuals_for(op)
+            assert parent.rows_in == sum(
+                result.metrics.actuals_for(c).rows_out for c in children
+            )
+
+    def test_io_attributed_to_scans_not_joins(self, plain_db, environment):
+        from repro.execution.operators import HashJoin, PhysicalScan
+
+        _, pplan, result = self._run(plain_db, environment)
+        for op in pplan.operators():
+            actuals = result.metrics.actuals_for(op)
+            if isinstance(op, PhysicalScan):
+                assert actuals.io_seconds > 0
+            elif isinstance(op, HashJoin):
+                assert actuals.io_seconds == 0  # children's IO subtracted out
+                assert actuals.reserved_bytes > 0  # build side held
+
+    def test_runner_merges_stage_actuals(self, bdcc_db, environment):
+        from repro.tpch import queries
+        from repro.tpch.runner import QueryRunner
+
+        executor = Executor(bdcc_db, disk=environment.disk, costs=environment.cost_model)
+        runner = QueryRunner(executor)
+        queries.QUERIES["Q11"](runner)  # decorrelates into two stages
+        assert len(runner.physical_plans) > 1
+        expected = sum(
+            len(list(p.operators())) for p in runner.physical_plans
+        )
+        assert len(runner.metrics.operators) == expected
 
     def test_plain_explain_lists_strategies(self, plain_db, environment):
         executor = Executor(plain_db, disk=environment.disk)

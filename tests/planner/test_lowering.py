@@ -48,7 +48,30 @@ def _skeleton(pplan) -> str:
     return format_physical_plan(pplan, verbose=False)
 
 
+_Q01_SKELETON = """
+    Sort [l_returnflag, l_linestatus]
+      HashAgg [l_returnflag, l_linestatus] -> sum_qty=sum, sum_base_price=sum, sum_disc_price=sum, sum_charge=sum, avg_qty=avg, avg_price=avg, avg_disc=avg, count_order=count
+        Scan lineitem WHERE ...
+    """
+
+_Q06_SKELETON = """
+    HashAgg [<scalar>] -> revenue=sum
+      Scan lineitem WHERE ...
+    """
+
 GOLDEN = {
+    # Q1: the heavy-aggregation scan no indexing scheme accelerates —
+    # the plan skeleton is identical under all three schemes (grouping
+    # keys are plain columns, so neither PK order nor BDCC helps)
+    ("Q01", "plain"): _Q01_SKELETON,
+    ("Q01", "pk"): _Q01_SKELETON,
+    ("Q01", "bdcc"): _Q01_SKELETON,
+    # Q6: pure scan + scalar aggregate; schemes differ only in scan
+    # pruning (zone maps / pushdown), which the skeleton hides and the
+    # rationale tests below pin
+    ("Q06", "plain"): _Q06_SKELETON,
+    ("Q06", "pk"): _Q06_SKELETON,
+    ("Q06", "bdcc"): _Q06_SKELETON,
     ("Q03", "plain"): """
         Limit 10
           Sort [revenue desc, o_orderdate]
@@ -145,6 +168,57 @@ GOLDEN = {
                       Scan lineitem as l3
                 Scan lineitem
         """,
+    # Q21: the multi-join case — a five-way join with self-joins and
+    # residual semi/anti conditions; PK earns one merge join on the
+    # L1/ORDERS key chain, BDCC sandwiches the entire join tower
+    ("Q21", "plain"): """
+        Limit 100
+          Sort [numwait desc, s_name]
+            HashAgg [s_name] -> numwait=count
+              HashJoin anti ON l1.l_orderkey=l3.l_orderkey + residual
+                HashJoin semi ON l1.l_orderkey=l2.l_orderkey + residual
+                  HashJoin inner ON s_nationkey=n_nationkey
+                    HashJoin inner ON l1.l_orderkey=o_orderkey
+                      HashJoin inner ON s_suppkey=l1.l_suppkey
+                        Scan supplier
+                        Scan lineitem as l1 WHERE ...
+                      Scan orders WHERE ...
+                    Scan nation WHERE ...
+                  Scan lineitem as l2
+                Scan lineitem as l3 WHERE ...
+        """,
+    ("Q21", "pk"): """
+        Limit 100
+          Sort [numwait desc, s_name]
+            HashAgg [s_name] -> numwait=count
+              HashJoin anti ON l1.l_orderkey=l3.l_orderkey + residual
+                HashJoin semi ON l1.l_orderkey=l2.l_orderkey + residual
+                  HashJoin inner ON s_nationkey=n_nationkey
+                    MergeJoin inner ON l1.l_orderkey=o_orderkey
+                      HashJoin inner ON s_suppkey=l1.l_suppkey
+                        Scan supplier
+                        Scan lineitem as l1 WHERE ...
+                      Scan orders WHERE ...
+                    Scan nation WHERE ...
+                  Scan lineitem as l2
+                Scan lineitem as l3 WHERE ...
+        """,
+    ("Q21", "bdcc"): """
+        Limit 100
+          Sort [numwait desc, s_name]
+            HashAgg [s_name] -> numwait=count
+              SandwichJoin anti ON l1.l_orderkey=l3.l_orderkey + residual
+                SandwichJoin semi ON l1.l_orderkey=l2.l_orderkey + residual
+                  SandwichJoin inner ON s_nationkey=n_nationkey
+                    SandwichJoin inner ON l1.l_orderkey=o_orderkey
+                      SandwichJoin inner ON s_suppkey=l1.l_suppkey
+                        Scan supplier
+                        Scan lineitem as l1 WHERE ...
+                      Scan orders WHERE ...
+                    Scan nation WHERE ...
+                  Scan lineitem as l2
+                Scan lineitem as l3 WHERE ...
+        """,
 }
 
 
@@ -173,6 +247,13 @@ class TestGoldenPlans:
         text = format_physical_plan(pplan, verbose=True)
         assert "both inputs ordered on the join keys" in text
         assert "input ordered on (a determinant of) the keys" in text
+
+    def test_q06_bdcc_scan_pruning_rationale(self, bdcc_db):
+        # Q6's whole BDCC story is scan pruning; the skeleton is shared
+        # with plain/pk, the zone-map decision shows in the rationale
+        pplan = _lowered(bdcc_db, "Q06")
+        text = format_physical_plan(pplan, verbose=True)
+        assert "minmax" in text
 
 
 class TestLoweringPurity:
@@ -275,3 +356,30 @@ class TestAblationSwitchesAtLowering:
         without_merge = executor.lower(plan)
         assert any(isinstance(op, MergeJoin) for op in with_merge.operators())
         assert not any(isinstance(op, MergeJoin) for op in without_merge.operators())
+
+
+class TestPlanCacheKeyedOnEveryOption:
+    """Regression: flipping *any* ablation switch after a cached
+    ``lower()`` must yield the re-lowered plan, never a stale one."""
+
+    def test_cache_key_covers_every_field(self):
+        import dataclasses
+
+        options = ExecutionOptions()
+        assert len(options.cache_key()) == len(dataclasses.fields(ExecutionOptions))
+
+    def test_flipping_each_field_busts_and_restores_the_cache(self, bdcc_db):
+        import dataclasses
+
+        from repro.planner.logical import scan
+
+        executor = Executor(bdcc_db)
+        plan = scan("orders").join(scan("lineitem"), on=[("o_orderkey", "l_orderkey")])
+        baseline = executor.lower(plan)
+        for spec in dataclasses.fields(ExecutionOptions):
+            default = getattr(executor.options, spec.name)
+            flipped = (not default) if isinstance(default, bool) else default + 1
+            setattr(executor.options, spec.name, flipped)
+            assert executor.lower(plan) is not baseline, spec.name
+            setattr(executor.options, spec.name, default)
+            assert executor.lower(plan) is baseline, spec.name

@@ -1,0 +1,122 @@
+"""The differential runner: normalization, reporting, and seeded sweeps.
+
+The short sweep runs in tier-1 (marked ``fast``); the broader sweep is
+marked ``workload`` and runs in its own CI job (deselected by default
+via ``addopts``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.workload.differential import (
+    WorkloadReport,
+    ablation_variants,
+    normalized_rows,
+    rows_match,
+    run_differential,
+)
+
+
+class TestNormalization:
+    def test_column_order_is_name_order(self):
+        rows = normalized_rows(
+            {"b": np.array([1, 2]), "a": np.array([10.0, 20.0])}, ["b", "a"]
+        )
+        assert rows == [(10.0, 1), (20.0, 2)]
+
+    def test_rows_sorted_as_multiset(self):
+        first = normalized_rows({"x": np.array([3, 1, 2])}, ["x"])
+        second = normalized_rows({"x": np.array([2, 3, 1])}, ["x"])
+        assert first == second
+
+    def test_negative_zero_and_nan(self):
+        rows = normalized_rows({"x": np.array([-0.0, np.nan])}, ["x"])
+        assert rows[1] == (0.0,)
+        assert rows[0][0] < -1e300  # NaN mapped to a sortable sentinel
+
+    def test_float_tolerance(self):
+        a = [(1.0, "x"), (102012411.25,)]
+        b = [(1.0 + 1e-9, "x"), (102012411.35,)]
+        assert rows_match([a[0]], [b[0]])
+        assert rows_match([a[1]], [b[1]])  # 1e-9 relative on 1e8
+        assert not rows_match([(1.0,)], [(1.5,)])
+        assert not rows_match([(1,)], [(2,)])
+        assert not rows_match([(1.0,)], [(1.0,), (1.0,)])
+
+    def test_int_float_equality(self):
+        assert rows_match([(5,)], [(5.0,)])
+
+
+class TestVariants:
+    def test_grid_covers_every_switch(self):
+        variants = ablation_variants()
+        assert set(variants) >= {
+            "default", "no-pushdown", "no-propagation", "no-minmax",
+            "no-sandwich", "no-merge", "baseline",
+        }
+        assert not variants["baseline"].enable_pushdown
+        assert not variants["baseline"].enable_merge
+
+    def test_default_only(self):
+        assert list(ablation_variants(full=False)) == ["default"]
+
+
+@pytest.mark.fast
+class TestSmokeSweep:
+    """A bounded seeded sweep inside tier-1: few queries, full grid."""
+
+    @pytest.fixture(scope="class")
+    def report(self, physical_dbs, environment) -> WorkloadReport:
+        return run_differential(
+            physical_dbs,
+            seed=0,
+            num_queries=6,
+            disk=environment.disk,
+            costs=environment.cost_model,
+        )
+
+    def test_no_divergences(self, report):
+        assert report.ok, report.render()
+
+    def test_every_scheme_and_variant_ran(self, report, physical_dbs):
+        grid = len(physical_dbs) * len(ablation_variants())
+        assert report.executions == 6 * grid
+
+    def test_strategies_and_actuals_collected(self, report):
+        assert report.strategies.get("Scan", 0) > 0
+        assert "Scan" in report.operator_totals
+        assert report.operator_totals["Scan"]["io_seconds"] > 0
+
+    def test_render_mentions_outcome(self, report):
+        text = report.render()
+        assert "divergences=0" in text
+        assert text.endswith("PASS")
+
+
+@pytest.mark.workload
+class TestSeededSweep:
+    """The broader sweep: 50 queries x 3 schemes x the full grid."""
+
+    def test_seed_zero_fifty_queries(self, physical_dbs, environment):
+        report = run_differential(
+            physical_dbs,
+            seed=0,
+            num_queries=50,
+            disk=environment.disk,
+            costs=environment.cost_model,
+        )
+        assert report.ok, report.render()
+        # the sweep must actually exercise the interesting strategies
+        assert report.strategies.get("SandwichJoin", 0) > 0
+        assert report.strategies.get("MergeJoin", 0) > 0
+        assert report.strategies.get("StreamAgg", 0) > 0
+
+    def test_alternate_seed(self, physical_dbs, environment):
+        report = run_differential(
+            physical_dbs,
+            seed=20260730,
+            num_queries=25,
+            disk=environment.disk,
+            costs=environment.cost_model,
+        )
+        assert report.ok, report.render()
