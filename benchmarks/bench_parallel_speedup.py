@@ -1,0 +1,110 @@
+"""Parallel speedup: makespan vs worker count on the scan-heavy queries.
+
+Runs Q1/Q6 (and the join-bearing Q3) under BDCC across worker counts and
+prints resource-seconds vs makespan per count.  Asserts the scheduling
+invariant the subsystem promises: the makespan is monotonically
+non-increasing in the worker count while the disk has free parallel
+streams, and never regresses materially beyond them (extra workers then
+only pay the bounded per-fragment overhead).
+
+Usable standalone (CI runs ``python benchmarks/bench_parallel_speedup.py
+--smoke``) — no pytest required.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.planner.executor import ExecutionOptions, Executor  # noqa: E402
+from repro.tpch.datagen import generate  # noqa: E402
+from repro.tpch.environment import make_environment  # noqa: E402
+from repro.tpch.harness import build_schemes  # noqa: E402
+from repro.tpch.queries import QUERIES  # noqa: E402
+from repro.tpch.runner import QueryRunner  # noqa: E402
+
+WORKER_COUNTS = (1, 2, 4, 8)
+MONOTONE_QUERIES = ("Q01", "Q06")  # scan-heavy: the headline speedups
+EXTRA_QUERIES = ("Q03",)           # join-bearing, broadcast fragments
+
+
+def run(scale_factor: float, seed: int) -> int:
+    print(f"generating TPC-H SF={scale_factor} (seed {seed}) ...", file=sys.stderr)
+    db = generate(scale_factor=scale_factor, seed=seed)
+    env = make_environment(scale_factor)
+    pdb = build_schemes(db, env, include=["bdcc"])["bdcc"]
+    streams = env.disk.parallel_streams
+
+    lines = [
+        f"parallel speedup (BDCC, SF={scale_factor}, "
+        f"{streams} disk streams); wall = makespan ms",
+        f"{'query':<6}" + "".join(f"{f'w={w} wall':>12}{f'w={w} x':>9}" for w in WORKER_COUNTS),
+    ]
+    failures = []
+    for qname in MONOTONE_QUERIES + EXTRA_QUERIES:
+        spans = {}
+        row = f"{qname:<6}"
+        serial_total = None
+        for workers in WORKER_COUNTS:
+            executor = Executor(
+                pdb, disk=env.disk, costs=env.cost_model,
+                options=ExecutionOptions(workers=workers),
+            )
+            runner = QueryRunner(executor)
+            QUERIES[qname](runner)
+            spans[workers] = runner.metrics.makespan_seconds
+            if workers == 1:
+                serial_total = runner.metrics.total_seconds
+            row += (
+                f"{spans[workers] * 1e3:12.3f}"
+                f"{serial_total / spans[workers]:9.2f}"
+            )
+        lines.append(row)
+        if qname in MONOTONE_QUERIES:
+            counts = list(WORKER_COUNTS)
+            for prev, cur in zip(counts, counts[1:]):
+                slack = 1.02 if cur <= streams else 1.10
+                if spans[cur] > spans[prev] * slack:
+                    failures.append(
+                        f"{qname}: makespan rose {spans[prev] * 1e3:.3f} -> "
+                        f"{spans[cur] * 1e3:.3f} ms going {prev} -> {cur} workers"
+                    )
+            if spans[4] >= spans[1] / 2:
+                failures.append(
+                    f"{qname}: 4 workers reached only "
+                    f"{spans[1] / spans[4]:.2f}x over 1 worker"
+                )
+
+    report = "\n".join(lines)
+    print(report)
+    results_dir = pathlib.Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "parallel_speedup.txt").write_text(report + "\n")
+    if failures:
+        print("\nFAIL:\n" + "\n".join(f"  - {f}" for f in failures), file=sys.stderr)
+        return 1
+    print("\nmakespan monotone non-increasing in worker count: PASS", file=sys.stderr)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small scale factor for CI (default uses REPRO_SF or 0.02)",
+    )
+    parser.add_argument("--sf", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+    scale_factor = args.sf
+    if scale_factor is None:
+        scale_factor = 0.01 if args.smoke else float(os.environ.get("REPRO_SF", "0.02"))
+    return run(scale_factor, args.seed)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,6 +45,9 @@ class CostModel:
     sandwich_group_overhead: float = 2.0e-6
     # per row overhead of carrying/group-extracting the _bdcc_ column
     sandwich_row_overhead: float = 0.5e-9
+    # per row moved through an exchange (gather/broadcast between plan
+    # fragments of a parallel execution)
+    exchange_row: float = 0.5e-9
 
     # cache capacities of the evaluation machine
     l1_bytes: float = 32 * 1024

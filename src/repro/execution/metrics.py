@@ -11,12 +11,13 @@ The reproduction targets of Figures 2 and 3 are *simulated* quantities:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 __all__ = [
     "MemoryTracker",
     "MemoryReservation",
     "OperatorActuals",
+    "FragmentActuals",
     "ExecutionMetrics",
 ]
 
@@ -107,6 +108,52 @@ class OperatorActuals:
 
 
 @dataclass
+class FragmentActuals:
+    """Measured quantities of one plan fragment in a parallel execution.
+
+    ``io_seconds``/``cpu_seconds`` are the *charged* (uncontended)
+    resource seconds — across fragments they sum to the query totals.
+    The timeline fields come from the deterministic scheduler: wall-clock
+    positions on the assigned worker, with IO stretched when more
+    concurrent streams than the disk supports were active."""
+
+    index: int
+    role: str                 # "partition" | "broadcast" | "final" | "serial"
+    description: str
+    worker: int = -1
+    depends_on: Tuple[int, ...] = ()
+    ready_seconds: float = 0.0    # all dependencies finished
+    start_seconds: float = 0.0    # dispatched to the worker
+    io_end_seconds: float = 0.0   # IO phase done (includes contention)
+    end_seconds: float = 0.0      # fragment finished
+    io_seconds: float = 0.0       # charged IO (no contention stretch)
+    cpu_seconds: float = 0.0
+    rows_out: int = 0
+    output_bytes: float = 0.0     # exchanged result buffer size
+    peak_memory_bytes: float = 0.0
+
+    @property
+    def queue_wait_seconds(self) -> float:
+        """Time spent ready but waiting for a free worker."""
+        return max(self.start_seconds - self.ready_seconds, 0.0)
+
+    @property
+    def makespan_contribution_seconds(self) -> float:
+        """Wall-clock this fragment occupied its worker (IO stretch
+        under disk contention included)."""
+        return max(self.end_seconds - self.start_seconds, 0.0)
+
+    def summary(self) -> str:
+        """One-line annotation for EXPLAIN ANALYZE fragment headers."""
+        return (
+            f"(worker {self.worker} "
+            f"start={self.start_seconds * 1e3:.3f}ms "
+            f"busy={self.makespan_contribution_seconds * 1e3:.3f}ms "
+            f"wait={self.queue_wait_seconds * 1e3:.3f}ms)"
+        )
+
+
+@dataclass
 class ExecutionMetrics:
     """Accumulated cost of one query execution."""
 
@@ -124,10 +171,31 @@ class ExecutionMetrics:
     #: per-operator actuals, keyed by physical-operator identity
     #: (``id(op)``); populated by the execution context as it runs.
     operators: Dict[int, OperatorActuals] = field(default_factory=dict)
+    #: simulated workers this execution ran on (1 = serial).
+    workers: int = 1
+    #: simulated wall clock: the makespan over worker timelines.  For a
+    #: serial run this equals ``total_seconds``; a parallel run overlaps
+    #: fragments, so makespan < total (the resource-seconds sum).
+    makespan_seconds: float = 0.0
+    #: per-fragment actuals of a parallel execution (empty when serial).
+    fragments: List[FragmentActuals] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
         return self.io_seconds + self.cpu_seconds
+
+    @property
+    def wall_seconds(self) -> float:
+        """Simulated wall clock: makespan when scheduled, else the
+        serial total."""
+        return self.makespan_seconds if self.makespan_seconds > 0.0 else self.total_seconds
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Resource-seconds over wall-seconds: how much the schedule
+        overlapped (1.0 for a serial run)."""
+        wall = self.wall_seconds
+        return self.total_seconds / wall if wall > 0.0 else 1.0
 
     @property
     def peak_memory_bytes(self) -> float:

@@ -110,12 +110,30 @@ class ExecutionContext:
     per-operator actuals surfaced by ``EXPLAIN ANALYZE`` and the
     workload differential report."""
 
-    def __init__(self, disk: DiskModel, costs: CostModel, metrics: ExecutionMetrics):
+    def __init__(
+        self,
+        disk: DiskModel,
+        costs: CostModel,
+        metrics: ExecutionMetrics,
+        fragment_results: Optional[Dict[int, Relation]] = None,
+    ):
         self.disk = disk
         self.costs = costs
         self.metrics = metrics
+        #: producer-fragment outputs visible to Exchange/Repartition
+        #: leaves when this context runs one fragment of a parallel plan.
+        self.fragment_results = fragment_results
         self._live_reservations: List = []
         self._frames: List[_OpFrame] = []
+
+    def fragment_result(self, index: int) -> Relation:
+        """The output of a producer fragment (parallel execution only)."""
+        if self.fragment_results is None or index not in self.fragment_results:
+            raise RuntimeError(
+                f"fragment {index} result not available: exchange operators "
+                "only run under the parallel scheduler"
+            )
+        return self.fragment_results[index]
 
     def hold(self, tag: str, num_bytes: float) -> None:
         if num_bytes > 0:

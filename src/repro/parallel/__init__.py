@@ -1,0 +1,48 @@
+"""Partition-parallel execution: the sixth pillar.
+
+BDCC co-clustering is a partitioning scheme: the zone ranges that let
+sandwich operators cut joins and aggregations into independent chunks
+also make those chunks *independently executable*.  This package turns
+one lowered physical plan into zone-/page-aligned plan fragments
+(:mod:`repro.parallel.fragments`), connects them with typed exchange
+operators (:mod:`repro.parallel.exchange`) and runs them on *k*
+simulated workers under a deterministic dependency-aware scheduler
+(:mod:`repro.parallel.scheduler`) that reports wall clock as the
+makespan over worker timelines.
+
+Results are bit-identical to serial execution by construction —
+fragments partition streams into contiguous storage ranges gathered in
+order — which the workload oracle checks bit-for-bit across worker
+counts.
+"""
+
+from .exchange import Exchange, Repartition, UnionAll, concat_relations
+from .fragments import (
+    DEFAULT_MIN_PARTITION_ROWS,
+    Fragment,
+    ParallelPlan,
+    plan_fragments,
+)
+from .scheduler import (
+    FragmentWork,
+    ScheduledFragment,
+    concurrent_peak,
+    run_parallel,
+    simulate_schedule,
+)
+
+__all__ = [
+    "Exchange",
+    "Repartition",
+    "UnionAll",
+    "concat_relations",
+    "DEFAULT_MIN_PARTITION_ROWS",
+    "Fragment",
+    "ParallelPlan",
+    "plan_fragments",
+    "FragmentWork",
+    "ScheduledFragment",
+    "concurrent_peak",
+    "run_parallel",
+    "simulate_schedule",
+]

@@ -1,0 +1,138 @@
+"""Exchange operators: the typed boundaries between plan fragments.
+
+A partition-parallel plan moves data between fragments through three
+physical operators, all ordinary :class:`~repro.execution.operators.PhysicalOp`
+nodes so EXPLAIN, per-operator actuals and the attribution frames work
+unchanged:
+
+* :class:`Exchange` — the consumer-side leaf reading **one** partition
+  fragment's output (one partition of a split stream);
+* :class:`Repartition` — the consumer-side leaf reading a **broadcast**
+  fragment's output (the build side of a parallelised join, executed
+  once and shipped to every partition fragment);
+* :class:`UnionAll` — the order-preserving gather: concatenates its
+  partition inputs *in partition order*.  Because fragments partition a
+  stream into contiguous, ascending storage ranges, the concatenation
+  reproduces the serial stream exactly — same rows, same order, same
+  physical properties (sort order, carried dimension uses) — which is
+  what makes parallel results bit-identical to serial ones.  When a
+  split cannot keep partitions contiguous, ``preserve_order=False``
+  drops the order property instead of claiming one the data lacks.
+
+The operators never compute; they only move batches and charge the
+per-row exchange cost.  Producer results reach them through
+``ExecutionContext.fragment_results``, which only the parallel
+scheduler populates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..execution.operators import ExecutionContext, PhysicalOp
+from ..execution.relation import Relation
+
+__all__ = ["Exchange", "Repartition", "UnionAll", "concat_relations"]
+
+
+def concat_relations(rels: List[Relation], preserve_order: bool = True) -> Relation:
+    """Concatenate structurally identical relations (the outputs of the
+    partition fragments of one split stream) in list order.
+
+    Columns are concatenated per name; validity masks are extended with
+    all-valid runs for parts that lack one.  Physical properties carry
+    over only when every part agrees and ``preserve_order`` vouches the
+    parts arrive in stream order."""
+    if not rels:
+        return Relation(columns={})
+    base = rels[0]
+    names = list(base.columns)
+    columns: Dict[str, np.ndarray] = {
+        name: np.concatenate([r.columns[name] for r in rels]) for name in names
+    }
+    valid: Dict[str, np.ndarray] = {}
+    masked = {name for r in rels for name in r.valid if name in columns}
+    for name in masked:
+        valid[name] = np.concatenate(
+            [
+                r.valid.get(name, np.ones(r.num_rows, dtype=bool))
+                for r in rels
+            ]
+        )
+    sorted_on: Tuple[str, ...] = ()
+    if preserve_order and all(r.sorted_on == base.sorted_on for r in rels):
+        sorted_on = base.sorted_on
+    owners: Dict[str, str] = {}
+    for r in rels:
+        owners.update(r.owners)
+    uses = [u for u in base.uses if u.column in columns]
+    return Relation(columns=columns, valid=valid, sorted_on=sorted_on, uses=uses, owners=owners)
+
+
+@dataclass(eq=False)
+class Exchange(PhysicalOp):
+    """Consumer-side leaf: one partition fragment's output."""
+
+    source_fragment: int = -1
+    partition: int = 0
+    partitions: int = 1
+    rationale: str = ""
+
+    kind = "Exchange"
+
+    def describe(self) -> str:
+        return (
+            f"Exchange <- fragment {self.source_fragment} "
+            f"[{self.partition + 1}/{self.partitions}]"
+        )
+
+    def execute(self, ctx: ExecutionContext) -> Relation:
+        return ctx.fragment_result(self.source_fragment)
+
+
+@dataclass(eq=False)
+class Repartition(PhysicalOp):
+    """Consumer-side leaf: a broadcast fragment's output, shipped to
+    every partition fragment of a parallelised join."""
+
+    source_fragment: int = -1
+    mode: str = "broadcast"
+    rationale: str = ""
+
+    kind = "Repartition"
+
+    def describe(self) -> str:
+        return f"Repartition {self.mode} <- fragment {self.source_fragment}"
+
+    def execute(self, ctx: ExecutionContext) -> Relation:
+        rel = ctx.fragment_result(self.source_fragment)
+        # receiving the shipped batch costs per row on this worker
+        ctx.metrics.charge_cpu(rel.num_rows * ctx.costs.exchange_row, "exchange")
+        return rel
+
+
+@dataclass(eq=False)
+class UnionAll(PhysicalOp):
+    """Order-preserving gather of the partition fragments of one split
+    stream (children are :class:`Exchange` leaves, in partition order)."""
+
+    inputs: Tuple[PhysicalOp, ...] = ()
+    preserve_order: bool = True
+    rationale: str = ""
+
+    kind = "UnionAll"
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return tuple(self.inputs)
+
+    def describe(self) -> str:
+        return f"UnionAll [{len(self.inputs)} partitions]"
+
+    def execute(self, ctx: ExecutionContext) -> Relation:
+        rels = [child.run(ctx) for child in self.inputs]
+        out = concat_relations(rels, preserve_order=self.preserve_order)
+        ctx.metrics.charge_cpu(out.num_rows * ctx.costs.exchange_row, "exchange")
+        return out

@@ -1,0 +1,305 @@
+"""Fragment planning: split a physical plan along partition boundaries.
+
+The lowering pass emits one serial operator tree; this second (also
+pure) pass cuts it into *fragments* — subplans that simulated workers
+can execute independently — along the boundaries the storage layer
+already maintains:
+
+* **BDCC tables** split at *zone* boundaries (count-table group starts):
+  the same ranges sandwich operators exploit are independently scannable
+  chunks of the key-sorted storage;
+* **Plain/PK tables** split at *page-range* boundaries of the widest
+  demanded column, so partition IO stays page-granular.
+
+A split propagates up through *partition-transparent* operators — per-row
+Filter/Project, and joins along their order-carrying (probe) side, whose
+other side becomes a **broadcast fragment** executed once and shipped to
+every partition via :class:`~repro.parallel.exchange.Repartition`.
+Pipeline breakers (aggregation, sort, limit) stop the split: partitions
+are gathered below them by an order-preserving
+:class:`~repro.parallel.exchange.UnionAll` over
+:class:`~repro.parallel.exchange.Exchange` leaves, and the remainder of
+the plan runs as the **final** serial fragment.  Subtrees with no
+splittable scan (or too few rows to be worth a fragment) simply stay
+serial — fragmenting never fails, it degrades to the serial plan.
+
+Because partitions are contiguous ascending storage ranges and every
+operator in a partition fragment is per-row (or probe-side
+order-preserving), the gathered stream is *bit-identical* to the serial
+stream — the basis for the workload oracle checking parallel plans
+bit-for-bit against serial execution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..execution.operators import (
+    HashJoin,
+    MergeJoin,
+    PhysicalFilter,
+    PhysicalOp,
+    PhysicalProject,
+    PhysicalScan,
+    walk_physical,
+)
+from .exchange import Exchange, Repartition, UnionAll
+
+__all__ = ["Fragment", "ParallelPlan", "plan_fragments", "DEFAULT_MIN_PARTITION_ROWS"]
+
+#: below this many selected rows a scan is not worth its own fragment.
+DEFAULT_MIN_PARTITION_ROWS = 2048
+
+
+@dataclass
+class Fragment:
+    """One independently executable subplan of a parallel plan."""
+
+    index: int
+    root: PhysicalOp
+    role: str            # "partition" | "broadcast" | "final" | "serial"
+    note: str = ""       # human description (partition ranges, alignment)
+    depends_on: Tuple[int, ...] = ()
+
+
+@dataclass
+class ParallelPlan:
+    """A physical plan cut into fragments, ready for the scheduler.
+
+    Fragments are topologically ordered: every producer precedes its
+    consumers and the final (serial-tail) fragment comes last.  A plan
+    with a single fragment means nothing was splittable — the executor
+    falls back to the plain serial path."""
+
+    fragments: List[Fragment]
+    workers: int
+    scheme_name: str
+    serial: object       # the PhysicalPlan this was derived from
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def final(self) -> Fragment:
+        return self.fragments[-1]
+
+    @property
+    def is_parallel(self) -> bool:
+        return len(self.fragments) > 1
+
+    def operators(self):
+        for fragment in self.fragments:
+            yield from walk_physical(fragment.root)
+
+
+def _fragment_deps(root: PhysicalOp) -> Tuple[int, ...]:
+    return tuple(
+        sorted(
+            {
+                op.source_fragment
+                for op in walk_physical(root)
+                if isinstance(op, (Exchange, Repartition))
+            }
+        )
+    )
+
+
+class _FragmentPlanner:
+    def __init__(self, workers: int, min_partition_rows: int):
+        self.workers = max(int(workers), 1)
+        self.min_partition_rows = max(int(min_partition_rows), 1)
+        self.fragments: List[Fragment] = []
+        self.notes: List[str] = []
+
+    # ------------------------------------------------------------ building
+    def _add(self, root: PhysicalOp, role: str, note: str) -> int:
+        index = len(self.fragments)
+        self.fragments.append(
+            Fragment(index=index, root=root, role=role, note=note,
+                     depends_on=_fragment_deps(root))
+        )
+        return index
+
+    # ------------------------------------------------------------- walking
+    def visit(self, op: PhysicalOp) -> PhysicalOp:
+        """Return the serial-tail form of ``op``: splittable subtrees are
+        replaced by gathers over newly registered partition fragments."""
+        split = self._split(op)
+        if split is not None:
+            parts, note = split
+            sources = [
+                self._add(part, "partition", f"partition {i + 1}/{len(parts)}: {note}")
+                for i, part in enumerate(parts)
+            ]
+            exchanges = tuple(
+                Exchange(source_fragment=s, partition=i, partitions=len(parts))
+                for i, s in enumerate(sources)
+            )
+            self.notes.append(note)
+            return UnionAll(
+                inputs=exchanges,
+                preserve_order=True,
+                rationale=f"gather {len(parts)} partitions ({note})",
+            )
+        # not splittable as a whole: recurse into the children
+        if isinstance(op, (MergeJoin, HashJoin)):
+            left, right = self.visit(op.left), self.visit(op.right)
+            if left is not op.left or right is not op.right:
+                return dataclasses.replace(op, left=left, right=right)
+            return op
+        child = getattr(op, "input", None)
+        if isinstance(child, PhysicalOp):
+            new_child = self.visit(child)
+            if new_child is not child:
+                return dataclasses.replace(op, input=new_child)
+        return op
+
+    # ----------------------------------------------------------- splitting
+    def _split(self, op: PhysicalOp) -> Optional[Tuple[List[PhysicalOp], str]]:
+        """Try to turn ``op`` into per-partition clones; None when the
+        subtree must stay serial."""
+        if isinstance(op, PhysicalScan):
+            return self._split_scan(op)
+        if isinstance(op, (PhysicalFilter, PhysicalProject)):
+            sub = self._split(op.input)
+            if sub is None:
+                return None
+            parts, note = sub
+            return [dataclasses.replace(op, input=p) for p in parts], note
+        if isinstance(op, (MergeJoin, HashJoin)):  # SandwichJoin included
+            return self._split_join(op)
+        return None
+
+    @staticmethod
+    def _partition_side(op) -> str:
+        """The join input whose row order the output follows — the side
+        that can be partitioned while the other is broadcast."""
+        if isinstance(op, MergeJoin):
+            return "left"
+        if op.how != "inner":
+            return "left"  # left/semi/anti assemble the left side
+        return "right" if op.build_side == "left" else "left"
+
+    def _split_join(self, op) -> Optional[Tuple[List[PhysicalOp], str]]:
+        side = self._partition_side(op)
+        sub = self._split(getattr(op, side))
+        if sub is None:
+            return None
+        parts, note = sub
+        other = "right" if side == "left" else "left"
+        broadcast = self._add(
+            getattr(op, other), "broadcast",
+            f"{op.kind} {other} (build) side, shipped to every partition",
+        )
+        clones = [
+            dataclasses.replace(
+                op, **{side: part, other: Repartition(source_fragment=broadcast)}
+            )
+            for part in parts
+        ]
+        return clones, note
+
+    # --------------------------------------------------------- scan splits
+    def _split_scan(self, op: PhysicalScan) -> Optional[Tuple[List[PhysicalOp], str]]:
+        stored = op.stored
+        rows = op.selected_rows
+        total = stored.stored_rows if rows is None else len(rows)
+        max_parts = total // self.min_partition_rows
+        num_parts = min(self.workers, max_parts)
+        if num_parts < 2:
+            return None
+        positions = np.arange(total, dtype=np.int64) if rows is None else np.asarray(rows)
+        if stored.bdcc is not None:
+            candidates = self._zone_boundaries(stored, positions)
+            alignment = "zone"
+        else:
+            candidates = self._page_boundaries(stored, op, positions)
+            alignment = "page"
+        cuts = _pick_cuts(candidates, total, num_parts)
+        if not cuts:
+            return None
+        bounds = [0] + cuts + [total]
+        parts: List[PhysicalOp] = []
+        for i in range(len(bounds) - 1):
+            a, b = bounds[i], bounds[i + 1]
+            part_rows = positions[a:b]
+            share = f"rows {a}..{b - 1} of {total}"
+            parts.append(
+                dataclasses.replace(
+                    op,
+                    selected_rows=part_rows,
+                    est_rows=op.est_rows * (b - a) / max(total, 1),
+                    selection_notes=op.selection_notes
+                    + (f"partition {i + 1}/{len(bounds) - 1} ({share})",),
+                    rationale=_extend_rationale(op.rationale, f"{alignment}-aligned {share}"),
+                )
+            )
+        note = (
+            f"scan {op.alias}: {len(parts)} {alignment}-aligned partitions "
+            f"over {total} rows"
+        )
+        return parts, note
+
+    @staticmethod
+    def _zone_boundaries(stored, positions: np.ndarray) -> np.ndarray:
+        """Cut candidates (indices into the selected sequence) where a
+        new BDCC zone (count-table group) starts."""
+        offsets = np.sort(stored.bdcc.count_table.offsets)
+        zone_of = np.searchsorted(offsets, positions, side="right")
+        return np.flatnonzero(np.diff(zone_of) != 0) + 1
+
+    @staticmethod
+    def _page_boundaries(stored, op: PhysicalScan, positions: np.ndarray) -> np.ndarray:
+        """Cut candidates where the widest demanded column crosses a
+        page boundary, so partition IO stays page-granular."""
+        widest = max(
+            (stored.stored_bytes_per_value(c) for c in op.demanded), default=8.0
+        )
+        rows_per_page = max(stored.page_model.rows_per_page(widest), 1)
+        return np.flatnonzero(np.diff(positions // rows_per_page) != 0) + 1
+
+
+def _extend_rationale(rationale: str, extra: str) -> str:
+    return f"{rationale}, {extra}" if rationale else extra
+
+
+def _pick_cuts(candidates: np.ndarray, total: int, num_parts: int) -> List[int]:
+    """Choose up to ``num_parts - 1`` strictly increasing cut positions
+    from the aligned candidates, each nearest to its ideal equal-rows
+    position."""
+    if len(candidates) == 0:
+        return []
+    cuts: List[int] = []
+    for j in range(1, num_parts):
+        ideal = round(j * total / num_parts)
+        nearest = int(candidates[np.argmin(np.abs(candidates - ideal))])
+        if 0 < nearest < total and (not cuts or nearest > cuts[-1]):
+            cuts.append(nearest)
+    return cuts
+
+
+def plan_fragments(
+    pplan,
+    workers: int,
+    min_partition_rows: int = DEFAULT_MIN_PARTITION_ROWS,
+) -> ParallelPlan:
+    """Cut a lowered physical plan into partition-parallel fragments.
+
+    Pure and deterministic, like lowering itself: the same
+    (plan, workers, min_partition_rows) always yields the same fragment
+    structure, and the serial plan's operators are reused wherever no
+    split applies (fragments never re-lower)."""
+    planner = _FragmentPlanner(workers, min_partition_rows)
+    root = planner.visit(pplan.root)
+    role = "final" if planner.fragments else "serial"
+    note = "serial tail above the gathers" if planner.fragments else "no splittable scan"
+    planner._add(root, role, note)
+    return ParallelPlan(
+        fragments=planner.fragments,
+        workers=planner.workers,
+        scheme_name=pplan.scheme_name,
+        serial=pplan,
+        notes=planner.notes,
+    )

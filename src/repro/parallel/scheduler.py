@@ -1,0 +1,268 @@
+"""Deterministic multi-worker scheduling of plan fragments.
+
+Execution is split from timing, mirroring the engine's simulation
+philosophy (results are exact, time is modelled):
+
+1. **Run** every fragment once, in topological order, each with its own
+   :class:`~repro.execution.metrics.ExecutionMetrics` — producing exact
+   results and the fragment's *charged* (uncontended) IO/CPU seconds.
+   Results flow between fragments through the context's
+   ``fragment_results`` map, never recomputed.
+2. **Schedule** the fragments onto *k* simulated workers with
+   dependency-aware list dispatch (longest fragment first, index as the
+   deterministic tie-break).  The event-driven timeline models each
+   fragment as an IO phase followed by a CPU phase; concurrent IO
+   phases share the disk according to
+   :meth:`~repro.storage.io_model.DiskModel.stream_rate`, so a device
+   with 4 parallel streams serves 4 scans at full speed and stretches 8.
+   Wall clock is the **makespan** over worker timelines.
+3. **Merge**: query totals are the *sums* over fragments (so exclusive
+   per-operator actuals still sum to totals), the makespan becomes
+   ``metrics.makespan_seconds``, and peak memory is recomputed as the
+   peak of *concurrently live* footprints: overlapping fragments'
+   reservation peaks plus exchanged result buffers held from a
+   producer's finish until its last consumer finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..execution.cost import CostModel
+from ..execution.metrics import ExecutionMetrics, FragmentActuals
+from ..execution.operators import ExecutionContext
+from ..execution.relation import Relation
+from ..storage.io_model import DiskModel
+from .fragments import ParallelPlan
+
+__all__ = [
+    "FragmentWork",
+    "ScheduledFragment",
+    "simulate_schedule",
+    "concurrent_peak",
+    "run_parallel",
+]
+
+_EPS = 1e-15
+
+
+@dataclass
+class FragmentWork:
+    """Scheduling input: one fragment's charged resource demands."""
+
+    index: int
+    io_seconds: float
+    cpu_seconds: float
+    depends_on: Tuple[int, ...] = ()
+
+
+@dataclass
+class ScheduledFragment:
+    """Scheduling output: one fragment's place on the timeline."""
+
+    index: int
+    worker: int = -1
+    ready_seconds: float = 0.0
+    start_seconds: float = 0.0
+    io_end_seconds: float = 0.0
+    end_seconds: float = 0.0
+
+
+def simulate_schedule(
+    works: List[FragmentWork],
+    workers: int,
+    streams: int = 1,
+    stream_rate: Optional[Callable[[int], float]] = None,
+) -> Tuple[List[ScheduledFragment], float]:
+    """Deterministically place fragments on worker timelines.
+
+    Dispatch is list scheduling: among ready fragments, the one with the
+    most remaining work first (ties by index), onto the lowest-numbered
+    free worker.  IO phases of concurrently running fragments share the
+    disk through ``stream_rate`` — the per-stream rate as a function of
+    the number of active streams, defaulting to
+    :meth:`~repro.storage.io_model.DiskModel.stream_rate` of a device
+    with ``streams`` parallel streams.  Returns the per-fragment slots
+    and the makespan."""
+    workers = max(int(workers), 1)
+    if stream_rate is None:
+        stream_rate = DiskModel(parallel_streams=max(int(streams), 1)).stream_rate
+    slots = {w.index: ScheduledFragment(index=w.index) for w in works}
+    remaining_deps = {w.index: set(w.depends_on) for w in works}
+    dependents: Dict[int, List[FragmentWork]] = {}
+    for w in works:
+        for dep in w.depends_on:
+            dependents.setdefault(dep, []).append(w)
+    by_index = {w.index: w for w in works}
+
+    def priority(index: int) -> Tuple[float, int]:
+        w = by_index[index]
+        return (-(w.io_seconds + w.cpu_seconds), index)
+
+    ready = sorted(
+        (w.index for w in works if not remaining_deps[w.index]), key=priority
+    )
+    free = list(range(workers))
+    #: index -> [phase ("io"|"cpu"), remaining seconds, worker]
+    running: Dict[int, list] = {}
+    now = 0.0
+    done = 0
+
+    while done < len(works):
+        while free and ready:
+            index = ready.pop(0)
+            worker = free.pop(0)
+            w = by_index[index]
+            slot = slots[index]
+            slot.worker = worker
+            slot.start_seconds = now
+            if w.io_seconds > _EPS:
+                running[index] = ["io", w.io_seconds, worker]
+            else:
+                slot.io_end_seconds = now
+                running[index] = ["cpu", w.cpu_seconds, worker]
+        if not running:
+            raise RuntimeError("fragment dependency cycle: nothing runnable")
+
+        active_io = sum(1 for state in running.values() if state[0] == "io")
+        rate = max(stream_rate(active_io), 1e-12) if active_io else 1.0
+        step = min(
+            state[1] / rate if state[0] == "io" else state[1]
+            for state in running.values()
+        )
+        step = max(step, 0.0)
+        now += step
+        finished_phase = []
+        for index, state in running.items():
+            state[1] -= step * (rate if state[0] == "io" else 1.0)
+            if state[1] <= _EPS:
+                finished_phase.append(index)
+        for index in sorted(finished_phase):
+            phase, _, worker = running[index]
+            slot = slots[index]
+            if phase == "io":
+                slot.io_end_seconds = now
+                cpu = by_index[index].cpu_seconds
+                if cpu > _EPS:
+                    running[index] = ["cpu", cpu, worker]
+                    continue
+            slot.end_seconds = now
+            del running[index]
+            done += 1
+            free.append(worker)
+            free.sort()
+            for dependent in dependents.get(index, ()):
+                deps = remaining_deps[dependent.index]
+                deps.discard(index)
+                if not deps and dependent.index not in running:
+                    slots[dependent.index].ready_seconds = now
+                    ready.append(dependent.index)
+            ready.sort(key=priority)
+
+    makespan = max((s.end_seconds for s in slots.values()), default=0.0)
+    return [slots[w.index] for w in works], makespan
+
+
+# --------------------------------------------------------------- memory
+def concurrent_peak(intervals: List[Tuple[float, float, float]]) -> float:
+    """Peak of overlapping ``(start, end, bytes)`` intervals.  At equal
+    timestamps allocations apply before releases, so a handoff (producer
+    buffer still live while the consumer starts) counts as overlap."""
+    events = []
+    for order, (start, end, num_bytes) in enumerate(intervals):
+        if num_bytes <= 0.0:
+            continue
+        events.append((start, 0, order, num_bytes))
+        events.append((end, 1, order, -num_bytes))
+    events.sort()
+    live = peak = 0.0
+    for _, _, _, delta in events:
+        live += delta
+        peak = max(peak, live)
+    return peak
+
+
+# -------------------------------------------------------------- running
+def run_parallel(
+    plan: ParallelPlan,
+    disk: DiskModel,
+    costs: CostModel,
+) -> Tuple[Relation, ExecutionMetrics]:
+    """Execute a fragmented plan on the simulated worker pool and return
+    the final fragment's relation plus the merged metrics."""
+    results: Dict[int, Relation] = {}
+    fragment_metrics: Dict[int, ExecutionMetrics] = {}
+    for fragment in plan.fragments:  # topological by construction
+        metrics = ExecutionMetrics()
+        ctx = ExecutionContext(disk, costs, metrics, fragment_results=results)
+        relation = fragment.root.run(ctx)
+        ctx.release_all()
+        metrics.rows_produced = relation.num_rows
+        results[fragment.index] = relation
+        fragment_metrics[fragment.index] = metrics
+
+    works = [
+        FragmentWork(
+            index=f.index,
+            io_seconds=fragment_metrics[f.index].io_seconds,
+            cpu_seconds=fragment_metrics[f.index].cpu_seconds,
+            depends_on=f.depends_on,
+        )
+        for f in plan.fragments
+    ]
+    slots, makespan = simulate_schedule(
+        works, plan.workers, stream_rate=disk.stream_rate
+    )
+    slot_of = {s.index: s for s in slots}
+
+    merged = ExecutionMetrics()
+    merged.workers = plan.workers
+    merged.makespan_seconds = makespan
+    consumers: Dict[int, List[int]] = {}
+    for fragment in plan.fragments:
+        for dep in fragment.depends_on:
+            consumers.setdefault(dep, []).append(fragment.index)
+
+    memory_intervals: List[Tuple[float, float, float]] = []
+    for fragment in plan.fragments:
+        metrics = fragment_metrics[fragment.index]
+        slot = slot_of[fragment.index]
+        relation = results[fragment.index]
+        merged.charge_io(metrics.io_bytes, metrics.io_accesses, metrics.io_seconds)
+        merged.charge_cpu(metrics.cpu_seconds)
+        merged.rows_scanned += metrics.rows_scanned
+        for key, value in metrics.counters.items():
+            merged.counters[key] = merged.counters.get(key, 0.0) + value
+        merged.notes.extend(f"[f{fragment.index}] {note}" for note in metrics.notes)
+        merged.operators.update(metrics.operators)
+        output_bytes = 0.0
+        if consumers.get(fragment.index):
+            output_bytes = relation.data_bytes()
+            reads_end = max(slot_of[c].end_seconds for c in consumers[fragment.index])
+            memory_intervals.append((slot.end_seconds, reads_end, output_bytes))
+        memory_intervals.append(
+            (slot.start_seconds, slot.end_seconds, metrics.memory.peak_bytes)
+        )
+        merged.fragments.append(
+            FragmentActuals(
+                index=fragment.index,
+                role=fragment.role,
+                description=fragment.note,
+                worker=slot.worker,
+                depends_on=fragment.depends_on,
+                ready_seconds=slot.ready_seconds,
+                start_seconds=slot.start_seconds,
+                io_end_seconds=slot.io_end_seconds,
+                end_seconds=slot.end_seconds,
+                io_seconds=metrics.io_seconds,
+                cpu_seconds=metrics.cpu_seconds,
+                rows_out=relation.num_rows,
+                output_bytes=output_bytes,
+                peak_memory_bytes=metrics.memory.peak_bytes,
+            )
+        )
+    merged.memory.peak_bytes = concurrent_peak(memory_intervals)
+    final = results[plan.final.index]
+    merged.rows_produced = final.num_rows
+    return final, merged

@@ -1,32 +1,41 @@
-"""Plan execution: lower once, then run the physical plan.
+"""Plan execution: lower once, fragment if parallel, then run.
 
-The :class:`Executor` glues the two halves of the engine together for
-one :class:`~repro.schemes.base.PhysicalDatabase`:
+The :class:`Executor` glues the layers of the engine together for one
+:class:`~repro.schemes.base.PhysicalDatabase`:
 
 * :func:`repro.planner.lowering.lower` turns the logical plan into a
   typed physical plan — every strategy decision (merge/sandwich/hash
   joins, streaming/sandwich/hash aggregation, scan pruning, replica
   choice) resolved and recorded on the operators;
-* :mod:`repro.execution.operators` runs that plan, charging simulated
+* with ``options.workers > 1``, :func:`repro.parallel.plan_fragments`
+  derives zone-/page-aligned partition fragments from that *same*
+  lowering (fragments never re-lower) and the deterministic scheduler
+  runs them on the simulated worker pool;
+* :mod:`repro.execution.operators` runs the plan, charging simulated
   IO/CPU time and tracking the peak of concurrently live operator
   memory (the paper's Figure 3 quantity).
 
-Results are identical under every scheme (the integration tests assert
-this for all 22 TPC-H queries); what changes is the physical plan and
-its cost.  Because lowering is pure and deterministic, lowered plans are
-cached per logical plan and can be inspected (``EXPLAIN``) or re-run
-without re-planning.
+Results are identical under every scheme *and every worker count* (the
+integration tests assert this bit-for-bit for all 22 TPC-H queries);
+what changes is the physical plan, its cost, and — in parallel — the
+makespan.  Because lowering and fragmenting are pure and deterministic,
+both are cached: lowered plans in an LRU dict keyed on
+``(id(node), options.cache_key())``, fragment plans keyed on the
+lowered plan and the worker count.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..execution.cost import DEFAULT_COSTS, CostModel
-from ..execution.metrics import ExecutionMetrics
+from ..execution.metrics import ExecutionMetrics, FragmentActuals
 from ..execution.operators import ExecutionContext
 from ..execution.relation import Relation
+from ..parallel.fragments import ParallelPlan, plan_fragments
+from ..parallel.scheduler import run_parallel
 from ..schemes.base import PhysicalDatabase
 from ..storage.io_model import PAPER_SSD, DiskModel
 from .lowering import ExecutionOptions, PhysicalPlan, lower
@@ -58,9 +67,19 @@ class Executor:
         self.disk = disk or PAPER_SSD
         self.costs = costs or DEFAULT_COSTS
         self.options = options or ExecutionOptions()
-        #: (plan node, options key) -> PhysicalPlan; keyed by node
-        #: *identity* (logical plans may hold unhashable expressions).
-        self._plan_cache: List[Tuple[object, tuple, PhysicalPlan]] = []
+        #: (id(node), options key) -> (node, PhysicalPlan), LRU-ordered.
+        #: Keyed by node *identity* (logical plans may hold unhashable
+        #: expressions); the node is kept in the value so its id cannot
+        #: be recycled while the entry lives.
+        self._plan_cache: "OrderedDict[Tuple[int, tuple], Tuple[object, PhysicalPlan]]" = (
+            OrderedDict()
+        )
+        #: (id(physical root), workers, min_partition_rows) ->
+        #: (PhysicalPlan, ParallelPlan); fragmenting reuses the cached
+        #: lowering, so changing the worker count never re-lowers a plan.
+        self._fragment_cache: "OrderedDict[Tuple[int, int, int], Tuple[PhysicalPlan, ParallelPlan]]" = (
+            OrderedDict()
+        )
 
     # ----------------------------------------------------------- planning
     def lower(self, plan) -> PhysicalPlan:
@@ -68,25 +87,68 @@ class Executor:
         from .logical import Plan
 
         node = plan.node if isinstance(plan, Plan) else plan
-        key = self.options.cache_key()
-        for cached_node, cached_key, pplan in self._plan_cache:
-            if cached_node is node and cached_key == key:
-                return pplan
+        key = (id(node), self.options.cache_key())
+        hit = self._plan_cache.get(key)
+        if hit is not None:
+            self._plan_cache.move_to_end(key)
+            return hit[1]
         pplan = lower(self.pdb, node, self.options)
-        self._plan_cache.append((node, key, pplan))
-        if len(self._plan_cache) > _PLAN_CACHE_SIZE:
-            self._plan_cache.pop(0)
+        self._plan_cache[key] = (node, pplan)
+        while len(self._plan_cache) > _PLAN_CACHE_SIZE:
+            self._plan_cache.popitem(last=False)
         return pplan
+
+    def parallel_plan(self, pplan: PhysicalPlan) -> ParallelPlan:
+        """The fragment plan of a lowered plan for the current worker
+        count (cached; derived from the lowering, never re-lowered)."""
+        workers = max(int(self.options.workers), 1)
+        key = (id(pplan.root), workers, int(self.options.min_partition_rows))
+        hit = self._fragment_cache.get(key)
+        if hit is not None:
+            self._fragment_cache.move_to_end(key)
+            return hit[1]
+        parallel = plan_fragments(
+            pplan, workers, min_partition_rows=self.options.min_partition_rows
+        )
+        self._fragment_cache[key] = (pplan, parallel)
+        while len(self._fragment_cache) > _PLAN_CACHE_SIZE:
+            self._fragment_cache.popitem(last=False)
+        return parallel
 
     # ------------------------------------------------------------ running
     def run(self, pplan: PhysicalPlan) -> QueryResult:
-        """Execute an already-lowered physical plan."""
-        self.metrics = ExecutionMetrics()
-        ctx = ExecutionContext(self.disk, self.costs, self.metrics)
+        """Execute an already-lowered physical plan (parallel when the
+        options ask for workers and the plan has a splittable scan)."""
+        if self.options.workers > 1:
+            parallel = self.parallel_plan(pplan)
+            if parallel.is_parallel:
+                relation, metrics = run_parallel(parallel, self.disk, self.costs)
+                self.metrics = metrics
+                return QueryResult(relation, metrics)
+        metrics = ExecutionMetrics()
+        self.metrics = metrics
+        ctx = ExecutionContext(self.disk, self.costs, metrics)
         relation = pplan.root.run(ctx)
-        self.metrics.rows_produced = relation.num_rows
+        metrics.rows_produced = relation.num_rows
         ctx.release_all()
-        return QueryResult(relation, self.metrics)
+        # a serial run is one fragment on one worker: wall clock is the
+        # total, and the fragment-sum invariant holds degenerately
+        metrics.makespan_seconds = metrics.total_seconds
+        metrics.fragments.append(
+            FragmentActuals(
+                index=0,
+                role="serial",
+                description="whole plan, one worker",
+                worker=0,
+                io_end_seconds=metrics.io_seconds,
+                end_seconds=metrics.total_seconds,
+                io_seconds=metrics.io_seconds,
+                cpu_seconds=metrics.cpu_seconds,
+                rows_out=relation.num_rows,
+                peak_memory_bytes=metrics.peak_memory_bytes,
+            )
+        )
+        return QueryResult(relation, metrics)
 
     def execute(self, plan) -> QueryResult:
         """Lower (or fetch the cached lowering of) a plan and run it."""

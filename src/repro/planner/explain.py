@@ -11,6 +11,12 @@ and annotates every physical node with its per-operator actuals — rows
 in/out, exclusive simulated IO and CPU seconds, and reserved operator
 memory — plus the executor's runtime notes (actual group counts, build
 sizes) and the query totals, like SQL's ``EXPLAIN ANALYZE``.
+
+When the executor's options ask for ``workers > 1`` the rendering
+switches to the *fragment* view: every plan fragment with its partition
+range and dependencies, and under ``analyze`` the scheduler's verdict
+per fragment — assigned worker, makespan contribution and queue wait —
+plus the makespan/speedup totals.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..execution.metrics import ExecutionMetrics
+from ..parallel.fragments import ParallelPlan
 
 from .executor import Executor
 from .logical import (
@@ -33,7 +40,7 @@ from .logical import (
 )
 from .lowering import PhysicalPlan
 
-__all__ = ["format_plan", "format_physical_plan", "explain"]
+__all__ = ["format_plan", "format_physical_plan", "format_parallel_plan", "explain"]
 
 
 def _describe(node: PlanNode) -> str:
@@ -90,21 +97,60 @@ def format_physical_plan(
     reserved memory.
     """
     lines: List[str] = []
+    _render_op(pplan.root, 0, lines, verbose, metrics)
+    return "\n".join(lines)
 
-    def render(op, depth: int) -> None:
-        line = "  " * depth + op.describe()
-        rationale = getattr(op, "rationale", "")
-        if verbose and rationale:
-            line += f"  [{rationale}]"
-        if metrics is not None:
-            actuals = metrics.actuals_for(op)
-            if actuals is not None:
-                line += f"  {actuals.summary()}"
-        lines.append(line)
-        for child in op.children():
-            render(child, depth + 1)
 
-    render(pplan.root, 0)
+def _render_op(op, depth: int, lines: List[str], verbose: bool,
+               metrics: Optional[ExecutionMetrics]) -> None:
+    line = "  " * depth + op.describe()
+    rationale = getattr(op, "rationale", "")
+    if verbose and rationale:
+        line += f"  [{rationale}]"
+    if metrics is not None:
+        actuals = metrics.actuals_for(op)
+        if actuals is not None:
+            line += f"  {actuals.summary()}"
+    lines.append(line)
+    for child in op.children():
+        _render_op(child, depth + 1, lines, verbose, metrics)
+
+
+def format_parallel_plan(
+    parallel: ParallelPlan,
+    verbose: bool = True,
+    metrics: Optional[ExecutionMetrics] = None,
+) -> str:
+    """ASCII rendering of a fragmented plan: one block per fragment —
+    role, partition note, dependencies, and (with ``metrics`` from a
+    scheduled run) the assigned worker, makespan contribution and queue
+    wait — each followed by the fragment's operator tree."""
+    actuals_by_index = {}
+    if metrics is not None:
+        actuals_by_index = {f.index: f for f in metrics.fragments}
+    lines: List[str] = []
+    for fragment in parallel.fragments:
+        header = f"fragment {fragment.index} [{fragment.role}]"
+        if fragment.note:
+            header += f" {fragment.note}"
+        if fragment.depends_on:
+            header += " <- " + ", ".join(f"f{d}" for d in fragment.depends_on)
+        actual = actuals_by_index.get(fragment.index)
+        if actual is not None:
+            header += f"  {actual.summary()}"
+        lines.append(header)
+        _render_op(fragment.root, 1, lines, verbose, metrics)
+    if metrics is not None and metrics.makespan_seconds > 0.0:
+        lines.append(
+            "makespan: %.3f ms over %d workers (%.3f ms resource-seconds, "
+            "speedup %.2fx)"
+            % (
+                metrics.makespan_seconds * 1e3,
+                metrics.workers,
+                metrics.total_seconds * 1e3,
+                metrics.parallel_speedup,
+            )
+        )
     return "\n".join(lines)
 
 
@@ -119,14 +165,26 @@ def _decisions(pplan: PhysicalPlan) -> List[str]:
 
 def explain(executor: Executor, plan, analyze: bool = False) -> str:
     """Physical plan + strategy decisions; with ``analyze``, also run the
-    query and report actual notes and simulated costs."""
+    query and report actual notes and simulated costs.  With
+    ``options.workers > 1`` the plan is rendered as its fragments."""
     pplan = executor.lower(plan)
+    parallel: Optional[ParallelPlan] = None
+    if executor.options.workers > 1:
+        parallel = executor.parallel_plan(pplan)
+        if not parallel.is_parallel:
+            parallel = None
     metrics: Optional[ExecutionMetrics] = None
     if analyze:
         metrics = executor.run(pplan).metrics
+    scheme_line = f"scheme: {executor.pdb.scheme_name}"
+    if parallel is not None:
+        scheme_line += f", workers: {parallel.workers}"
+        body = format_parallel_plan(parallel, verbose=True, metrics=metrics)
+    else:
+        body = format_physical_plan(pplan, verbose=True, metrics=metrics)
     parts = [
-        f"scheme: {executor.pdb.scheme_name}",
-        format_physical_plan(pplan, verbose=True, metrics=metrics),
+        scheme_line,
+        body,
         "",
         "decisions:",
     ]

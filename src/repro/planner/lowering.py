@@ -84,9 +84,13 @@ __all__ = ["ExecutionOptions", "PhysicalPlan", "lower"]
 
 @dataclass
 class ExecutionOptions:
-    """Feature switches (for ablations) and sandwich tuning.  All of
-    these are honoured at *lowering* time: flipping a switch changes the
-    emitted physical plan, not the behaviour of the operators."""
+    """Feature switches (for ablations), sandwich tuning and the
+    parallel-execution knobs.  The ablation switches are honoured at
+    *lowering* time: flipping one changes the emitted physical plan, not
+    the behaviour of the operators.  ``workers`` and
+    ``min_partition_rows`` are honoured by the *fragmenting* pass
+    (``repro.parallel``), which derives partition fragments from the
+    serially lowered plan — the lowering itself is worker-agnostic."""
 
     enable_pushdown: bool = True      # BDCC group pruning from local predicates
     enable_propagation: bool = True   # ... and from co-clustered neighbours
@@ -94,11 +98,25 @@ class ExecutionOptions:
     enable_sandwich: bool = True      # pre-grouped joins/aggregations
     enable_merge: bool = True         # merge joins on ordered inputs
     max_sandwich_bits: int = 8        # cap on combined sandwich group bits
+    workers: int = 1                  # simulated workers (1 = serial)
+    min_partition_rows: int = 2048    # smallest scan partition worth a fragment
+
+    #: fields that do not affect the lowered (serial) plan — they select
+    #: the *fragment* plan derived from it, cached separately by the
+    #: executor.  Excluded from ``cache_key`` so switching the worker
+    #: count reuses the cached lowering and never re-lowers.
+    _RUNTIME_ONLY = frozenset({"workers", "min_partition_rows"})
 
     def cache_key(self) -> tuple:
-        # every field participates, so a future switch can never be
-        # forgotten and serve a stale cached lowering
-        return dataclasses.astuple(self)
+        # every planning field participates, so a future switch can never
+        # be forgotten and serve a stale cached lowering (a new field is
+        # included by default; it must be named in _RUNTIME_ONLY to opt
+        # out, which only fragment-level knobs may do)
+        return tuple(
+            getattr(self, spec.name)
+            for spec in dataclasses.fields(self)
+            if spec.name not in self._RUNTIME_ONLY
+        )
 
 
 @dataclass

@@ -28,6 +28,20 @@ class DiskModel:
 
     sequential_bandwidth: float = 1e9  # bytes / second
     access_latency: float = 32 * 1024 / (4 * 1e9)  # seconds per random access
+    #: how many concurrent streams the device serves at full per-stream
+    #: bandwidth before they start sharing (the paper's RAID0 of 4 SSDs:
+    #: one synchronous reader cannot keep all channels busy, so up to 4
+    #: workers each see full sequential speed; beyond that, streams
+    #: proportionally share).  Used by the parallel scheduler only —
+    #: serial timing is unaffected.
+    parallel_streams: int = 4
+
+    def stream_rate(self, concurrent_streams: int) -> float:
+        """Fraction of full per-stream bandwidth each of
+        ``concurrent_streams`` simultaneous readers receives."""
+        if concurrent_streams <= self.parallel_streams:
+            return 1.0
+        return self.parallel_streams / float(concurrent_streams)
 
     def transfer_time(self, num_bytes: float) -> float:
         return num_bytes / self.sequential_bandwidth

@@ -12,7 +12,7 @@ import sys
 from typing import List
 
 from ..planner.executor import ExecutionOptions, Executor
-from ..planner.explain import format_physical_plan
+from ..planner.explain import format_parallel_plan, format_physical_plan
 from .datagen import generate
 from .environment import make_environment
 from .harness import build_schemes, run_suite
@@ -51,6 +51,13 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
     parser.add_argument(
         "--no-pushdown", action="store_true", help="disable BDCC group pruning"
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help=(
+            "simulated workers for partition-parallel execution; with N > 1 "
+            "a speedup table (resource-seconds vs makespan) is printed"
+        ),
+    )
     return parser.parse_args(argv)
 
 
@@ -70,6 +77,7 @@ def main(argv: List[str] | None = None) -> int:
     options = ExecutionOptions(
         enable_sandwich=not args.no_sandwich,
         enable_pushdown=not args.no_pushdown,
+        workers=max(args.workers, 1),
     )
 
     print(f"generating TPC-H SF={args.sf} (seed {args.seed}) ...", file=sys.stderr)
@@ -101,7 +109,13 @@ def main(argv: List[str] | None = None) -> int:
                 for stage, pplan in enumerate(runner.physical_plans):
                     if len(runner.physical_plans) > 1:
                         print(f"-- stage {stage + 1}")
-                    print(format_physical_plan(pplan, metrics=runner.metrics))
+                    stage_metrics = runner.stage_metrics[stage]
+                    if options.workers > 1:
+                        parallel = executor.parallel_plan(pplan)
+                        if parallel.is_parallel:
+                            print(format_parallel_plan(parallel, metrics=stage_metrics))
+                            continue
+                    print(format_physical_plan(pplan, metrics=stage_metrics))
                 print(
                     "cost: %.3f ms simulated, peak memory %.3f MB, %d rows"
                     % (
@@ -118,6 +132,9 @@ def main(argv: List[str] | None = None) -> int:
     print(suite.fig2_table())
     print()
     print(suite.fig3_table())
+    if options.workers > 1:
+        print()
+        print(suite.parallel_table())
     if "plain" in pdbs and "bdcc" in pdbs:
         print(f"\nBDCC speedup over plain: {suite.speedup():.2f}x")
     return 0

@@ -35,6 +35,14 @@ class QueryMeasurement:
     peak_memory_bytes: float
     rows: int
     notes: List[str] = field(default_factory=list)
+    #: simulated wall clock (scheduler makespan; == seconds when serial)
+    makespan_seconds: float = 0.0
+    workers: int = 1
+
+    @property
+    def speedup(self) -> float:
+        """Resource-seconds over wall clock (1.0 for a serial run)."""
+        return self.seconds / self.makespan_seconds if self.makespan_seconds else 1.0
 
 
 @dataclass
@@ -78,6 +86,44 @@ class SuiteResult:
     def fig3_table(self) -> str:
         """Peak query memory per query (the paper's Figure 3)."""
         return self._table("peak_memory_bytes", "peak memory", 1e-6, "MB")
+
+    def parallel_table(self) -> str:
+        """Per-query makespan and speedup columns of a ``--workers N``
+        run: resource-seconds (the work done), wall clock (the
+        scheduler's makespan) and their ratio per scheme."""
+        names = list(self.schemes)
+        workers = max(
+            m.workers for r in self.schemes.values() for m in r.measurements.values()
+        )
+        header = f"{'query':<6}"
+        for name in names:
+            header += f"{name + ' work':>12}{name + ' wall':>12}{name + ' x':>9}"
+        lines = [
+            f"parallel execution, workers={workers} "
+            f"(work = resource ms, wall = makespan ms)",
+            header,
+        ]
+        queries = sorted(next(iter(self.schemes.values())).measurements)
+        for query in queries:
+            row = f"{query:<6}"
+            for name in names:
+                m = self.schemes[name].measurements[query]
+                row += (
+                    f"{m.seconds * 1e3:12.3f}"
+                    f"{(m.makespan_seconds or m.seconds) * 1e3:12.3f}"
+                    f"{m.speedup:9.2f}"
+                )
+            lines.append(row)
+        totals = "total "
+        for name in names:
+            work = sum(m.seconds for m in self.schemes[name].measurements.values())
+            wall = sum(
+                (m.makespan_seconds or m.seconds)
+                for m in self.schemes[name].measurements.values()
+            )
+            totals += f"{work * 1e3:12.3f}{wall * 1e3:12.3f}{work / wall if wall else 1.0:9.2f}"
+        lines.append(totals)
+        return "\n".join(lines)
 
     def _table(self, attr: str, title: str, scale: float, unit: str) -> str:
         names = list(self.schemes)
@@ -155,6 +201,8 @@ def run_suite(
                 peak_memory_bytes=metrics.peak_memory_bytes,
                 rows=result.relation.num_rows,
                 notes=list(metrics.notes),
+                makespan_seconds=metrics.makespan_seconds,
+                workers=metrics.workers,
             )
             if check_results_match:
                 rows = sorted(

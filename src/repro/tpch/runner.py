@@ -34,6 +34,9 @@ class QueryRunner:
         self.executor = executor
         self.metrics = ExecutionMetrics()
         self.physical_plans: List[PhysicalPlan] = []
+        #: per-stage metrics, parallel to ``physical_plans`` (the merged
+        #: ``metrics`` mixes stages; fragment timelines are per stage)
+        self.stage_metrics: List[ExecutionMetrics] = []
 
     @property
     def database(self) -> Database:
@@ -48,6 +51,7 @@ class QueryRunner:
         pplan = plan if isinstance(plan, PhysicalPlan) else self.executor.lower(plan)
         self.physical_plans.append(pplan)
         result = self.executor.run(pplan)
+        self.stage_metrics.append(result.metrics)
         self._merge(result.metrics)
         return result
 
@@ -66,6 +70,11 @@ class QueryRunner:
         merged.notes.extend(stage.notes)
         # stages hold distinct operator trees; keep every stage's actuals
         merged.operators.update(stage.operators)
+        # stages run one after another: wall clocks add up, and the
+        # per-stage fragment timelines are kept for inspection
+        merged.makespan_seconds += stage.makespan_seconds
+        merged.workers = max(merged.workers, stage.workers)
+        merged.fragments.extend(stage.fragments)
 
 
 def run_query(

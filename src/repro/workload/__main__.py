@@ -15,7 +15,7 @@ from typing import List
 from ..tpch.datagen import generate
 from ..tpch.environment import make_environment
 from ..tpch.harness import build_schemes
-from .differential import ablation_variants, run_differential
+from .differential import ablation_variants, run_differential, worker_count_variants
 
 __all__ = ["main"]
 
@@ -40,6 +40,14 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
         "--variants", choices=("all", "default"), default="all",
         help="'all' sweeps the ablation grid, 'default' runs only default options",
     )
+    parser.add_argument(
+        "--workers", default="",
+        help=(
+            "comma-separated worker counts to sweep (e.g. 1,2,4); parallel "
+            "runs are additionally checked bit-for-bit against the serial "
+            "default run (the full ablation grid already includes 2 and 4)"
+        ),
+    )
     parser.add_argument("--fail-fast", action="store_true", help="stop at the first divergence")
     parser.add_argument("--verbose", action="store_true", help="per-query progress")
     return parser.parse_args(argv)
@@ -63,11 +71,16 @@ def main(argv: List[str] | None = None) -> int:
         if args.verbose or done % 25 == 0 or done == total:
             print(f"  {done}/{total} queries checked", file=sys.stderr)
 
+    variants = ablation_variants(full=args.variants == "all")
+    if args.workers:
+        counts = [int(n) for n in args.workers.split(",") if n.strip()]
+        variants.update(worker_count_variants([n for n in counts if n > 1]))
+
     report = run_differential(
         pdbs,
         seed=args.seed,
         num_queries=args.queries,
-        variants=ablation_variants(full=args.variants == "all"),
+        variants=variants,
         disk=env.disk,
         costs=env.cost_model,
         fail_fast=args.fail_fast,

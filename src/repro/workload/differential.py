@@ -29,6 +29,7 @@ __all__ = [
     "Divergence",
     "WorkloadReport",
     "ablation_variants",
+    "worker_count_variants",
     "normalized_rows",
     "rows_match",
     "run_differential",
@@ -42,11 +43,26 @@ _SWITCHES = (
     "enable_merge",
 )
 
+#: worker counts the default grid sweeps; parallel executions are
+#: additionally checked *bit-for-bit* against the serial default run.
+_WORKER_COUNTS = (1, 2, 4)
+
+
+def worker_count_variants(counts: Sequence[int]) -> Dict[str, ExecutionOptions]:
+    """One ``workers-N`` variant per requested count (1 is the serial
+    default and named so the report can point at the diverging count).
+    Small scans still split under the sweep: the partition floor drops
+    so tiny differential databases exercise the parallel machinery."""
+    return {
+        f"workers-{n}": ExecutionOptions(workers=n, min_partition_rows=256)
+        for n in counts
+    }
+
 
 def ablation_variants(full: bool = True) -> Dict[str, ExecutionOptions]:
     """The option grid a differential run sweeps: the default plan,
     each feature switched off on its own, a narrow sandwich-bit budget,
-    and the everything-off baseline."""
+    the everything-off baseline, and the worker-count sweep."""
     variants = {"default": ExecutionOptions()}
     if not full:
         return variants
@@ -56,6 +72,7 @@ def ablation_variants(full: bool = True) -> Dict[str, ExecutionOptions]:
     variants["baseline"] = ExecutionOptions(
         **{switch: False for switch in _SWITCHES}
     )
+    variants.update(worker_count_variants([n for n in _WORKER_COUNTS if n > 1]))
     return variants
 
 
@@ -231,6 +248,37 @@ class WorkloadReport:
         return "\n".join(lines)
 
 
+def _bitwise_mismatch(serial, got) -> Optional[str]:
+    """Exact (order- and bit-sensitive) comparison of a parallel
+    execution's relation against the same scheme's serial default run.
+    Fragmented plans gather partitions in storage order, so the parallel
+    stream must reproduce the serial one *exactly* — no tolerance."""
+    serial_names = serial.column_names
+    got_names = got.column_names
+    if serial_names != got_names:
+        return f"column mismatch: serial {serial_names}, parallel {got_names}"
+    if serial.num_rows != got.num_rows:
+        return f"row count mismatch: serial {serial.num_rows}, parallel {got.num_rows}"
+    for name in serial_names:
+        a, b = serial.column(name), got.column(name)
+        equal = (
+            np.array_equal(a, b, equal_nan=True)
+            if a.dtype.kind == "f" and b.dtype.kind == "f"
+            else np.array_equal(a, b)
+        )
+        if not equal:
+            same = a == b
+            if a.dtype.kind == "f" and b.dtype.kind == "f":
+                same = same | (np.isnan(a) & np.isnan(b))  # NaN pairs match
+            rows = np.flatnonzero(~same) if len(a) else np.zeros(0, dtype=int)
+            where = int(rows[0]) if len(rows) else -1
+            return (
+                f"column {name!r} differs (first at row {where}: "
+                f"serial {a[where]!r}, parallel {b[where]!r})"
+            )
+    return None
+
+
 # ------------------------------------------------------------------ runner
 def _diff_detail(expected: List[tuple], got: List[tuple]) -> str:
     lines = [f"expected {len(expected)} rows, got {len(got)} rows"]
@@ -282,10 +330,13 @@ def run_differential(
         reference = evaluate_reference(db, query.plan)
         expected_names = sorted(reference.visible_names)
         expected = normalized_rows(reference.columns, expected_names)
+        serial_relations: Dict[str, object] = {}
 
         for (scheme, variant), executor in executors.items():
             result = executor.execute(query.plan)
             report.executions += 1
+            if variant == "default":
+                serial_relations[scheme] = result.relation
             got_names = sorted(result.relation.column_names)
             if got_names != expected_names:
                 detail = f"column mismatch: expected {expected_names}, got {got_names}"
@@ -293,6 +344,17 @@ def run_differential(
             else:
                 got = normalized_rows(result.relation.columns, got_names)
                 detail = None if rows_match(expected, got) else _diff_detail(expected, got)
+            if (
+                detail is None
+                and executor.options.workers > 1
+                and scheme in serial_relations
+            ):
+                mismatch = _bitwise_mismatch(serial_relations[scheme], result.relation)
+                if mismatch is not None:
+                    detail = (
+                        f"workers={executor.options.workers} diverges bit-for-bit "
+                        f"from the serial default run:\n{mismatch}"
+                    )
             if detail is not None:
                 pplan = executor.lower(query.plan)
                 report.divergences.append(

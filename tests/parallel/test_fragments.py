@@ -1,0 +1,173 @@
+"""Fragment-planning properties over seeded random plans.
+
+For generated plans under every scheme, the partitioner must (a) split
+scans into disjoint row sets that exactly cover the serial selection in
+storage order, and (b) yield parallel executions whose gathered output
+is *bit-identical* (values and row order) to the serial run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel.exchange import Exchange, Repartition, UnionAll
+from repro.parallel.fragments import plan_fragments
+from repro.planner.executor import ExecutionOptions, Executor
+from repro.workload.generator import PlanGenerator
+
+from repro.execution.operators import PhysicalScan, walk_physical
+
+SEED = 7
+NUM_QUERIES = 10
+
+
+def _serial_selection(scan: PhysicalScan) -> np.ndarray:
+    if scan.selected_rows is None:
+        return np.arange(scan.stored.stored_rows, dtype=np.int64)
+    return np.asarray(scan.selected_rows)
+
+
+def _identical(a, b) -> bool:
+    if a.column_names != b.column_names or a.num_rows != b.num_rows:
+        return False
+    for name in a.column_names:
+        x, y = a.column(name), b.column(name)
+        equal = (
+            np.array_equal(x, y, equal_nan=True)
+            if x.dtype.kind == "f" and y.dtype.kind == "f"
+            else np.array_equal(x, y)
+        )
+        if not equal:
+            return False
+    return True
+
+
+@pytest.fixture(scope="module", params=["plain", "pk", "bdcc"])
+def pdb(request, physical_dbs):
+    return physical_dbs[request.param]
+
+
+class TestPartitionCoverage:
+    @pytest.mark.parametrize("index", range(NUM_QUERIES))
+    def test_partitions_disjoint_and_cover(self, pdb, tpch_db, index):
+        query = PlanGenerator(tpch_db).generate(SEED, index)
+        executor = Executor(pdb, options=ExecutionOptions(workers=4, min_partition_rows=64))
+        pplan = executor.lower(query.plan)
+        parallel = executor.parallel_plan(pplan)
+        serial_scans = {
+            op.alias: op
+            for op in walk_physical(pplan.root)
+            if isinstance(op, PhysicalScan)
+        }
+        partitioned: dict = {}
+        for fragment in parallel.fragments:
+            if fragment.role != "partition":
+                continue
+            for op in walk_physical(fragment.root):
+                if isinstance(op, PhysicalScan):
+                    partitioned.setdefault(op.alias, []).append(op)
+        for alias, parts in partitioned.items():
+            pieces = [np.asarray(p.selected_rows) for p in parts]
+            combined = np.concatenate(pieces)
+            serial = _serial_selection(serial_scans[alias])
+            # disjoint: sizes add up; cover *in storage order*: the
+            # concatenation reproduces the serial selection exactly
+            assert sum(len(p) for p in pieces) == len(serial)
+            assert np.array_equal(combined, serial), alias
+            assert all(len(p) > 0 for p in pieces)
+
+    @pytest.mark.parametrize("index", range(NUM_QUERIES))
+    def test_union_of_fragment_outputs_equals_serial(self, pdb, tpch_db, index):
+        query = PlanGenerator(tpch_db).generate(SEED, index)
+        serial = Executor(pdb).execute(query.plan)
+        for workers in (2, 4):
+            par_exec = Executor(
+                pdb, options=ExecutionOptions(workers=workers, min_partition_rows=64)
+            )
+            parallel = par_exec.execute(query.plan)
+            assert _identical(serial.relation, parallel.relation), (
+                f"workers={workers}: parallel output differs from serial"
+            )
+
+
+class TestFragmentStructure:
+    def _parallel(self, pdb, plan, workers=4, min_rows=64):
+        executor = Executor(
+            pdb, options=ExecutionOptions(workers=workers, min_partition_rows=min_rows)
+        )
+        return executor, executor.parallel_plan(executor.lower(plan))
+
+    def test_topological_order_and_deps(self, bdcc_db, tpch_db):
+        for index in range(NUM_QUERIES):
+            query = PlanGenerator(tpch_db).generate(SEED, index)
+            _, parallel = self._parallel(bdcc_db, query.plan)
+            for fragment in parallel.fragments:
+                assert fragment.index == parallel.fragments.index(fragment)
+                assert all(dep < fragment.index for dep in fragment.depends_on)
+            assert parallel.final is parallel.fragments[-1]
+            assert parallel.final.role in ("final", "serial")
+
+    def test_exchange_leaves_reference_existing_fragments(self, bdcc_db, tpch_db):
+        for index in range(NUM_QUERIES):
+            query = PlanGenerator(tpch_db).generate(SEED, index)
+            _, parallel = self._parallel(bdcc_db, query.plan)
+            indices = {f.index for f in parallel.fragments}
+            for op in parallel.operators():
+                if isinstance(op, (Exchange, Repartition)):
+                    assert op.source_fragment in indices
+
+    def test_zone_alignment_on_bdcc(self, bdcc_db):
+        from repro.planner.logical import scan
+
+        executor, parallel = self._parallel(bdcc_db, scan("lineitem").node)
+        partitions = [f for f in parallel.fragments if f.role == "partition"]
+        assert len(partitions) >= 2
+        offsets = set(
+            np.sort(bdcc_db.table("lineitem").bdcc.count_table.offsets).tolist()
+        )
+        for fragment in partitions[1:]:  # every later partition starts on a zone
+            scan_op = next(
+                op for op in walk_physical(fragment.root) if isinstance(op, PhysicalScan)
+            )
+            assert int(scan_op.selected_rows[0]) in offsets
+
+    def test_min_partition_rows_gates_splitting(self, bdcc_db):
+        from repro.planner.logical import scan
+
+        plan = scan("region")  # 5 rows: never worth fragments
+        executor = Executor(bdcc_db, options=ExecutionOptions(workers=4))
+        parallel = executor.parallel_plan(executor.lower(plan))
+        assert not parallel.is_parallel
+        assert parallel.final.role == "serial"
+
+    def test_fragmenting_is_cached_and_never_relowers(self, bdcc_db):
+        from repro.planner.logical import scan
+
+        plan = scan("orders").join(scan("lineitem"), on=[("o_orderkey", "l_orderkey")])
+        executor = Executor(
+            bdcc_db, options=ExecutionOptions(workers=4, min_partition_rows=64)
+        )
+        pplan = executor.lower(plan)
+        first = executor.parallel_plan(pplan)
+        assert first.is_parallel
+        assert executor.parallel_plan(pplan) is first  # cached per worker count
+        # fragments never re-lower: unsplit subtrees (here the broadcast
+        # build side) are the very operator objects of the lowering
+        serial_ops = {id(op) for op in walk_physical(pplan.root)}
+        broadcast = [f for f in first.fragments if f.role == "broadcast"]
+        assert broadcast and all(id(f.root) in serial_ops for f in broadcast)
+        # a different worker count is a different fragment plan derived
+        # from the *same* cached lowering — never re-lowered
+        executor.options.workers = 2
+        assert executor.lower(plan) is pplan
+        second = executor.parallel_plan(pplan)
+        assert second is not first and second.serial is pplan
+
+    def test_unionall_preserves_order_flag(self, bdcc_db):
+        from repro.planner.logical import scan
+
+        executor = Executor(
+            bdcc_db, options=ExecutionOptions(workers=4, min_partition_rows=64)
+        )
+        parallel = executor.parallel_plan(executor.lower(scan("lineitem").node))
+        gathers = [op for op in parallel.operators() if isinstance(op, UnionAll)]
+        assert gathers and all(g.preserve_order for g in gathers)

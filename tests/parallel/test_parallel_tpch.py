@@ -1,0 +1,172 @@
+"""Parallel TPC-H: bit-identical results, speedups, metric invariants,
+and the golden fragment rendering of ``explain(analyze=True)``."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.planner.executor import ExecutionOptions, Executor
+from repro.planner.explain import explain, format_parallel_plan
+from repro.tpch.queries import QUERIES
+from repro.tpch.runner import QueryRunner
+
+
+def _run(pdb, environment, qname, workers=1):
+    executor = Executor(
+        pdb,
+        disk=environment.disk,
+        costs=environment.cost_model,
+        options=ExecutionOptions(workers=workers),
+    )
+    runner = QueryRunner(executor)
+    result = QUERIES[qname](runner)
+    return result, runner.metrics
+
+
+def _identical(a, b) -> bool:
+    if a.column_names != b.column_names or a.num_rows != b.num_rows:
+        return False
+    for name in a.column_names:
+        x, y = a.column(name), b.column(name)
+        equal = (
+            np.array_equal(x, y, equal_nan=True)
+            if x.dtype.kind == "f" and y.dtype.kind == "f"
+            else np.array_equal(x, y)
+        )
+        if not equal:
+            return False
+    return True
+
+
+class TestAllQueriesBitIdentical:
+    @pytest.mark.parametrize("qname", sorted(QUERIES))
+    def test_bdcc_workers4_matches_serial(self, bdcc_db, environment, qname):
+        serial, serial_metrics = _run(bdcc_db, environment, qname, workers=1)
+        parallel, metrics = _run(bdcc_db, environment, qname, workers=4)
+        assert _identical(serial.relation, parallel.relation), qname
+        # per-fragment exclusive actuals sum exactly to the query totals
+        frag_io = sum(f.io_seconds for f in metrics.fragments)
+        frag_cpu = sum(f.cpu_seconds for f in metrics.fragments)
+        assert frag_io == pytest.approx(metrics.io_seconds, abs=1e-12)
+        assert frag_cpu == pytest.approx(metrics.cpu_seconds, abs=1e-12)
+        op_total = sum(
+            a.io_seconds + a.cpu_seconds for a in metrics.operators.values()
+        )
+        assert op_total == pytest.approx(metrics.total_seconds, rel=1e-9)
+        # the schedule can never beat perfect overlap or lose to serial
+        assert metrics.makespan_seconds <= metrics.total_seconds + 1e-12
+        assert metrics.makespan_seconds >= metrics.total_seconds / 4 - 1e-12
+
+
+class TestSpeedup:
+    @pytest.mark.parametrize("qname", ["Q01", "Q06"])
+    def test_scan_heavy_queries_reach_2x(self, bdcc_db, environment, qname):
+        _, serial_metrics = _run(bdcc_db, environment, qname, workers=1)
+        _, parallel_metrics = _run(bdcc_db, environment, qname, workers=4)
+        speedup = serial_metrics.total_seconds / parallel_metrics.makespan_seconds
+        assert speedup >= 2.0, f"{qname}: {speedup:.2f}x"
+
+    def test_makespan_non_increasing_in_workers(self, bdcc_db, environment):
+        spans = {}
+        for workers in (1, 2, 4, 8):
+            _, metrics = _run(bdcc_db, environment, "Q06", workers=workers)
+            spans[workers] = metrics.makespan_seconds
+        # strictly non-increasing while the disk has free streams ...
+        assert spans[2] <= spans[1] * 1.02 and spans[4] <= spans[2] * 1.02, spans
+        # ... and beyond the stream count extra workers may only pay the
+        # (bounded) per-fragment overhead, never regress materially
+        assert spans[8] <= spans[4] * 1.10, spans
+
+
+_NUMBER = re.compile(r"\d+(?:\.\d+)?")
+
+
+def _masked_fragment_skeleton(pdb, environment, qname) -> str:
+    executor = Executor(
+        pdb,
+        disk=environment.disk,
+        costs=environment.cost_model,
+        options=ExecutionOptions(workers=4),
+    )
+    runner = QueryRunner(executor)
+    QUERIES[qname](runner)
+    pplan = runner.physical_plans[-1]
+    parallel = executor.parallel_plan(pplan)
+    text = format_parallel_plan(
+        parallel, verbose=False, metrics=runner.stage_metrics[-1]
+    )
+    return _NUMBER.sub("#", text)
+
+
+_Q01_FRAGMENTS = """\
+fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows  (worker # start=#ms busy=#ms wait=#ms)
+  Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows  (worker # start=#ms busy=#ms wait=#ms)
+  Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows  (worker # start=#ms busy=#ms wait=#ms)
+  Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows  (worker # start=#ms busy=#ms wait=#ms)
+  Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+fragment # [final] serial tail above the gathers <- f#, f#, f#, f#  (worker # start=#ms busy=#ms wait=#ms)
+  Sort [l_returnflag, l_linestatus]  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+    HashAgg [l_returnflag, l_linestatus] -> sum_qty=sum, sum_base_price=sum, sum_disc_price=sum, sum_charge=sum, avg_qty=avg, avg_price=avg, avg_disc=avg, count_order=count  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+      UnionAll [# partitions]  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+        Exchange <- fragment # [#/#]  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+        Exchange <- fragment # [#/#]  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+        Exchange <- fragment # [#/#]  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+        Exchange <- fragment # [#/#]  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+makespan: # ms over # workers (# ms resource-seconds, speedup #x)"""
+
+_Q06_FRAGMENTS = """\
+fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows  (worker # start=#ms busy=#ms wait=#ms)
+  Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows  (worker # start=#ms busy=#ms wait=#ms)
+  Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows  (worker # start=#ms busy=#ms wait=#ms)
+  Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows  (worker # start=#ms busy=#ms wait=#ms)
+  Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+fragment # [final] serial tail above the gathers <- f#, f#, f#, f#  (worker # start=#ms busy=#ms wait=#ms)
+  HashAgg [<scalar>] -> revenue=sum  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+    UnionAll [# partitions]  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+      Exchange <- fragment # [#/#]  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+      Exchange <- fragment # [#/#]  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+      Exchange <- fragment # [#/#]  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+      Exchange <- fragment # [#/#]  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+makespan: # ms over # workers (# ms resource-seconds, speedup #x)"""
+
+
+class TestGoldenFragmentPlans:
+    """The analyzed fragment rendering — worker id, makespan
+    contribution (busy) and queue wait per fragment — pinned for the
+    paper's showcase scan queries under BDCC at 4 workers."""
+
+    def test_q01_bdcc_workers4(self, bdcc_db, environment):
+        assert _masked_fragment_skeleton(bdcc_db, environment, "Q01") == _Q01_FRAGMENTS
+
+    def test_q06_bdcc_workers4(self, bdcc_db, environment):
+        assert _masked_fragment_skeleton(bdcc_db, environment, "Q06") == _Q06_FRAGMENTS
+
+    def test_workers_are_all_used_and_deterministic(self, bdcc_db, environment):
+        _, metrics = _run(bdcc_db, environment, "Q06", workers=4)
+        partitions = [f for f in metrics.fragments if f.role == "partition"]
+        assert sorted(f.worker for f in partitions) == [0, 1, 2, 3]
+        assert all(f.queue_wait_seconds == 0.0 for f in partitions)
+        final = next(f for f in metrics.fragments if f.role == "final")
+        assert final.worker == 0
+        assert final.start_seconds >= max(p.end_seconds for p in partitions)
+
+    def test_explain_mentions_workers(self, bdcc_db, environment):
+        from repro.planner.logical import scan
+
+        executor = Executor(
+            bdcc_db,
+            disk=environment.disk,
+            costs=environment.cost_model,
+            options=ExecutionOptions(workers=4),
+        )
+        text = explain(executor, scan("lineitem"), analyze=True)
+        assert "workers: 4" in text
+        assert "fragment 0 [partition]" in text
+        assert "makespan:" in text

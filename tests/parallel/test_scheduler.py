@@ -1,0 +1,133 @@
+"""The deterministic scheduler: dispatch order, disk contention,
+dependencies, queue waits, and the concurrent-memory sweep."""
+
+import pytest
+
+from repro.parallel.scheduler import (
+    FragmentWork,
+    concurrent_peak,
+    simulate_schedule,
+)
+
+
+def _slot(slots, index):
+    return next(s for s in slots if s.index == index)
+
+
+class TestDispatch:
+    def test_independent_fragments_overlap(self):
+        works = [
+            FragmentWork(0, io_seconds=0.0, cpu_seconds=1.0),
+            FragmentWork(1, io_seconds=0.0, cpu_seconds=1.0),
+        ]
+        slots, makespan = simulate_schedule(works, workers=2, streams=4)
+        assert makespan == pytest.approx(1.0)
+        assert {_slot(slots, 0).worker, _slot(slots, 1).worker} == {0, 1}
+
+    def test_single_worker_serializes(self):
+        works = [
+            FragmentWork(0, io_seconds=0.0, cpu_seconds=1.0),
+            FragmentWork(1, io_seconds=0.0, cpu_seconds=2.0),
+        ]
+        slots, makespan = simulate_schedule(works, workers=1, streams=4)
+        assert makespan == pytest.approx(3.0)
+        # longest fragment dispatches first (list scheduling)
+        assert _slot(slots, 1).start_seconds == 0.0
+        assert _slot(slots, 0).start_seconds == pytest.approx(2.0)
+
+    def test_queue_wait_recorded(self):
+        works = [FragmentWork(i, io_seconds=0.0, cpu_seconds=1.0) for i in range(3)]
+        slots, makespan = simulate_schedule(works, workers=2, streams=4)
+        assert makespan == pytest.approx(2.0)
+        waits = sorted(s.start_seconds for s in slots)
+        assert waits == pytest.approx([0.0, 0.0, 1.0])
+
+    def test_deterministic_tie_break_by_index(self):
+        works = [FragmentWork(i, io_seconds=0.0, cpu_seconds=1.0) for i in range(4)]
+        first, _ = simulate_schedule(works, workers=2, streams=4)
+        second, _ = simulate_schedule(works, workers=2, streams=4)
+        assert [(s.index, s.worker, s.start_seconds) for s in first] == [
+            (s.index, s.worker, s.start_seconds) for s in second
+        ]
+        assert _slot(first, 0).worker == 0 and _slot(first, 1).worker == 1
+
+
+class TestDiskContention:
+    def test_streams_cap_stretches_io(self):
+        # two IO-only fragments on a single-stream disk: they share the
+        # device, so wall clock equals the serialized IO time
+        works = [
+            FragmentWork(0, io_seconds=1.0, cpu_seconds=0.0),
+            FragmentWork(1, io_seconds=1.0, cpu_seconds=0.0),
+        ]
+        _, contended = simulate_schedule(works, workers=2, streams=1)
+        assert contended == pytest.approx(2.0)
+        _, parallel = simulate_schedule(works, workers=2, streams=2)
+        assert parallel == pytest.approx(1.0)
+
+    def test_cpu_phase_not_stretched(self):
+        works = [
+            FragmentWork(0, io_seconds=1.0, cpu_seconds=1.0),
+            FragmentWork(1, io_seconds=1.0, cpu_seconds=1.0),
+        ]
+        _, makespan = simulate_schedule(works, workers=2, streams=1)
+        # both IO phases share the single stream (done at t=2), then the
+        # CPU phases run at full speed on their own workers (t=3)
+        assert makespan == pytest.approx(3.0)
+
+    def test_makespan_non_increasing_in_workers(self):
+        works = [
+            FragmentWork(i, io_seconds=0.5, cpu_seconds=0.25) for i in range(8)
+        ]
+        spans = [
+            simulate_schedule(works, workers=w, streams=4)[1] for w in (1, 2, 4, 8)
+        ]
+        assert all(b <= a + 1e-12 for a, b in zip(spans, spans[1:]))
+
+
+class TestDependencies:
+    def test_final_waits_for_partitions(self):
+        works = [
+            FragmentWork(0, io_seconds=0.0, cpu_seconds=1.0),
+            FragmentWork(1, io_seconds=0.0, cpu_seconds=2.0),
+            FragmentWork(2, io_seconds=0.0, cpu_seconds=0.5, depends_on=(0, 1)),
+        ]
+        slots, makespan = simulate_schedule(works, workers=4, streams=4)
+        assert _slot(slots, 2).ready_seconds == pytest.approx(2.0)
+        assert _slot(slots, 2).start_seconds == pytest.approx(2.0)
+        assert makespan == pytest.approx(2.5)
+
+    def test_broadcast_then_partitions_then_final(self):
+        works = [
+            FragmentWork(0, io_seconds=0.0, cpu_seconds=0.5),                  # broadcast
+            FragmentWork(1, io_seconds=0.0, cpu_seconds=1.0, depends_on=(0,)),
+            FragmentWork(2, io_seconds=0.0, cpu_seconds=1.0, depends_on=(0,)),
+            FragmentWork(3, io_seconds=0.0, cpu_seconds=0.1, depends_on=(1, 2)),
+        ]
+        slots, makespan = simulate_schedule(works, workers=2, streams=4)
+        assert _slot(slots, 1).start_seconds == pytest.approx(0.5)
+        assert makespan == pytest.approx(1.6)
+
+    def test_cycle_raises(self):
+        works = [
+            FragmentWork(0, io_seconds=0.0, cpu_seconds=1.0, depends_on=(1,)),
+            FragmentWork(1, io_seconds=0.0, cpu_seconds=1.0, depends_on=(0,)),
+        ]
+        with pytest.raises(RuntimeError):
+            simulate_schedule(works, workers=2, streams=4)
+
+
+class TestConcurrentPeak:
+    def test_overlap_sums(self):
+        assert concurrent_peak([(0.0, 2.0, 100.0), (1.0, 3.0, 50.0)]) == 150.0
+
+    def test_disjoint_takes_max(self):
+        assert concurrent_peak([(0.0, 1.0, 100.0), (2.0, 3.0, 50.0)]) == 100.0
+
+    def test_handoff_counts_as_overlap(self):
+        # producer buffer released exactly when the consumer starts: the
+        # instantaneous handoff still holds both
+        assert concurrent_peak([(0.0, 1.0, 100.0), (1.0, 2.0, 60.0)]) == 160.0
+
+    def test_zero_bytes_ignored(self):
+        assert concurrent_peak([(0.0, 1.0, 0.0)]) == 0.0

@@ -360,13 +360,20 @@ class TestAblationSwitchesAtLowering:
 
 class TestPlanCacheKeyedOnEveryOption:
     """Regression: flipping *any* ablation switch after a cached
-    ``lower()`` must yield the re-lowered plan, never a stale one."""
+    ``lower()`` must yield the re-lowered plan, never a stale one —
+    while the fragment-level knobs (workers, min_partition_rows) must
+    NOT re-lower: they select the fragment plan derived from the cached
+    lowering."""
 
-    def test_cache_key_covers_every_field(self):
+    def test_cache_key_covers_every_planning_field(self):
         import dataclasses
 
         options = ExecutionOptions()
-        assert len(options.cache_key()) == len(dataclasses.fields(ExecutionOptions))
+        runtime_only = ExecutionOptions._RUNTIME_ONLY
+        assert runtime_only == {"workers", "min_partition_rows"}
+        assert len(options.cache_key()) == (
+            len(dataclasses.fields(ExecutionOptions)) - len(runtime_only)
+        )
 
     def test_flipping_each_field_busts_and_restores_the_cache(self, bdcc_db):
         import dataclasses
@@ -380,6 +387,10 @@ class TestPlanCacheKeyedOnEveryOption:
             default = getattr(executor.options, spec.name)
             flipped = (not default) if isinstance(default, bool) else default + 1
             setattr(executor.options, spec.name, flipped)
-            assert executor.lower(plan) is not baseline, spec.name
+            if spec.name in ExecutionOptions._RUNTIME_ONLY:
+                # worker dispatch shares the lowering: never re-lowered
+                assert executor.lower(plan) is baseline, spec.name
+            else:
+                assert executor.lower(plan) is not baseline, spec.name
             setattr(executor.options, spec.name, default)
             assert executor.lower(plan) is baseline, spec.name

@@ -14,6 +14,7 @@ from repro.workload.differential import (
     normalized_rows,
     rows_match,
     run_differential,
+    worker_count_variants,
 )
 
 
@@ -60,6 +61,16 @@ class TestVariants:
     def test_default_only(self):
         assert list(ablation_variants(full=False)) == ["default"]
 
+    def test_grid_sweeps_worker_counts(self):
+        variants = ablation_variants()
+        assert variants["workers-2"].workers == 2
+        assert variants["workers-4"].workers == 4
+
+    def test_worker_variants_name_the_count(self):
+        variants = worker_count_variants([1, 2, 4])
+        assert list(variants) == ["workers-1", "workers-2", "workers-4"]
+        assert variants["workers-1"].workers == 1
+
 
 @pytest.mark.fast
 class TestSmokeSweep:
@@ -91,6 +102,52 @@ class TestSmokeSweep:
         text = report.render()
         assert "divergences=0" in text
         assert text.endswith("PASS")
+
+
+@pytest.mark.fast
+class TestWorkerSweepSmoke:
+    """A bounded worker-count sweep inside tier-1: parallel executions
+    checked against the reference *and* bit-for-bit against serial."""
+
+    def test_worker_counts_agree(self, physical_dbs, environment):
+        variants = {"default": ablation_variants(full=False)["default"]}
+        variants.update(worker_count_variants([1, 2, 4]))
+        report = run_differential(
+            physical_dbs,
+            seed=3,
+            num_queries=8,
+            variants=variants,
+            disk=environment.disk,
+            costs=environment.cost_model,
+        )
+        assert report.ok, report.render()
+        assert report.executions == 8 * len(physical_dbs) * 4
+
+    def test_divergence_report_names_the_worker_count(
+        self, physical_dbs, environment, monkeypatch
+    ):
+        # force the bit-for-bit comparison to fail: the report must name
+        # the diverging worker count, not just "some variant differed"
+        import repro.workload.differential as differential
+
+        monkeypatch.setattr(
+            differential, "_bitwise_mismatch", lambda serial, got: "forced mismatch"
+        )
+        report = run_differential(
+            {"bdcc": physical_dbs["bdcc"]},
+            seed=0,
+            num_queries=1,
+            variants={
+                "default": ablation_variants(full=False)["default"],
+                **worker_count_variants([2]),
+            },
+            disk=environment.disk,
+            costs=environment.cost_model,
+        )
+        assert not report.ok
+        text = report.render()
+        assert "variant=workers-2" in text
+        assert "workers=2 diverges bit-for-bit" in text
 
 
 @pytest.mark.workload
