@@ -4,12 +4,17 @@ The paper motivates BDCC's flat (non-hierarchical) bin numbering with
 maintainability "under updates".  This module delivers that property:
 new tuples are binned with the *existing* dimensions (no renumbering —
 out-of-domain key values clamp to the nearest bin, keeping the mapping
-order-respecting), keyed, and merged into the sorted order; the count
-table is rebuilt at the same granularity in one ordered aggregation.
+order-respecting), keyed, and spliced into the sorted order at their
+``searchsorted`` positions; the count table is maintained
+*incrementally* — per-group counts gain the new tuples' zone histogram
+through :meth:`~repro.core.count_table.CountTable.merge_entries`, the
+key column is never re-aggregated.
 
-Appending therefore never changes existing groups' identities, only their
-counts — co-clustered neighbours remain compatible and no other table is
-touched.
+Appending therefore never changes existing groups' identities, only
+their counts — co-clustered neighbours remain compatible and no other
+table is touched.  ``rebuild=True`` keeps the original full-rebuild
+(sort everything, re-aggregate the count table) as a slow reference
+path; the differential oracle runs both and checks they agree.
 """
 
 from __future__ import annotations
@@ -20,7 +25,6 @@ import numpy as np
 
 from ..storage.database import Database
 from .bdcc_table import BDCCTable
-from .bits import scatter_bins_into_key
 from .count_table import CountTable
 from .histograms import collect_granularity_stats
 
@@ -31,6 +35,7 @@ def append_rows(
     bdcc: BDCCTable,
     db: Database,
     new_rows: Dict[str, np.ndarray],
+    rebuild: bool = False,
 ) -> BDCCTable:
     """A new :class:`BDCCTable` with ``new_rows`` merged in.
 
@@ -40,11 +45,15 @@ def append_rows(
             contain the new rows appended at the end (so that dimension
             paths over foreign keys resolve for them).
         new_rows: the appended columns, used for sanity checks only.
+        rebuild: take the original full-rebuild path (stable sort over
+            all keys, count table re-aggregated from the key column)
+            instead of the incremental splice — the slow path the
+            differential oracle uses as a second reference.
 
     Returns:
-        A rebuilt :class:`BDCCTable` over all ``old + new`` rows: same
-        uses, same masks, same count-table granularity; consolidation is
-        not re-applied (run Algorithm 1 afresh for that).
+        A :class:`BDCCTable` over all ``old + new`` rows: same uses, same
+        masks, same count-table granularity; consolidation is not
+        re-applied (run Algorithm 1 afresh for that).
     """
     lengths = {len(v) for v in new_rows.values()}
     if len(lengths) != 1:
@@ -60,28 +69,46 @@ def append_rows(
 
     # bin and key only the delta, against the existing dimensions
     new_indices = np.arange(n_old, n_total, dtype=np.int64)
-    new_keys = np.zeros(n_new, dtype=np.uint64)
-    for use in bdcc.uses:
-        values = db.resolve_path_values(bdcc.table, use.path, use.dimension.key)
-        delta_values = [v[n_old:] for v in values]
-        bins = use.dimension.bin_of_values(delta_values)
-        scatter_bins_into_key(bins, use.dimension.bits, use.mask, new_keys)
+    new_keys = bdcc.keys_for_rows(db, new_indices)
 
-    # merge-sort the delta into the existing order (ignore any
-    # consolidated duplicates of the old table: rebuild from logical rows)
+    # the logical (un-consolidated) view of the existing table
     old_logical = bdcc.count_table.rows_for_entries(bdcc.all_entries())
     old_source = bdcc.row_source[old_logical]
     old_keys = bdcc.keys[old_logical]
-    all_keys = np.concatenate([old_keys, new_keys])
-    all_source = np.concatenate([old_source, new_indices])
-    order = np.argsort(all_keys, kind="stable")
-    sorted_keys = all_keys[order]
-    row_source = all_source[order]
+
+    if rebuild:
+        # full rebuild: one stable sort over everything, count table
+        # re-aggregated from the merged key column
+        all_keys = np.concatenate([old_keys, new_keys])
+        all_source = np.concatenate([old_source, new_indices])
+        order = np.argsort(all_keys, kind="stable")
+        sorted_keys = all_keys[order]
+        row_source = all_source[order]
+        count_table = CountTable.from_sorted_keys(
+            sorted_keys, bdcc.total_bits, bdcc.granularity
+        )
+    else:
+        # incremental splice: new keys enter after their equal old keys
+        # (the stable-merge order), grouped by key so equal new keys keep
+        # batch order; the count table merges the delta's zone histogram
+        # into the existing entries — no re-aggregation of the key column
+        batch_order = np.argsort(new_keys, kind="stable")
+        insert_keys = new_keys[batch_order]
+        insert_source = new_indices[batch_order]
+        positions = np.searchsorted(old_keys, insert_keys, side="right")
+        sorted_keys = np.insert(old_keys, positions, insert_keys)
+        row_source = np.insert(old_source, positions, insert_source)
+        shift = np.uint64(bdcc.total_bits - bdcc.granularity)
+        added_keys, added_counts = np.unique(insert_keys >> shift, return_counts=True)
+        ct = bdcc.count_table
+        valid = np.flatnonzero(ct.valid)
+        count_table = CountTable.merge_entries(
+            bdcc.granularity,
+            ct.keys[valid], ct.counts[valid],
+            added_keys=added_keys, added_counts=added_counts,
+        )
 
     stats = collect_granularity_stats(sorted_keys, bdcc.total_bits)
-    count_table = CountTable.from_sorted_keys(
-        sorted_keys, bdcc.total_bits, bdcc.granularity
-    )
     return BDCCTable(
         table=bdcc.table,
         uses=list(bdcc.uses),

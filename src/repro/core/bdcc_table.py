@@ -100,33 +100,68 @@ class BDCCTable:
         use = self.uses[use_index]
         return bin(truncate_mask(use.mask, self.total_bits, self.granularity)).count("1")
 
-    def entries_matching(
-        self, restrictions: Sequence[Tuple[int, np.ndarray, int]]
+    def restriction_mask(
+        self,
+        zone_prefixes: np.ndarray,
+        restrictions: Sequence[Tuple[int, np.ndarray, int]],
     ) -> np.ndarray:
-        """Count-table entry indices whose groups may satisfy all
-        restrictions.
+        """Which of the given zone prefixes (keys truncated to count-table
+        granularity) may satisfy all restrictions.
 
         Each restriction is ``(use_index, allowed_bins, bin_bits)`` where
         ``allowed_bins`` are dimension bin numbers expressed with
         ``bin_bits`` bits.  Bins are truncated to the use's effective bit
         count, making the selection a superset — pushdown never loses
-        rows, the residual predicate still runs after the scan.
+        rows, the residual predicate still runs after the scan.  The one
+        truncation rule serves both the base count table
+        (:meth:`entries_matching`) and per-row delta zone tags
+        (merge-on-read scans), so base and delta pruning can never
+        diverge.
         """
-        keep = self.count_table.valid.copy()
+        keep = np.ones(len(zone_prefixes), dtype=bool)
         for use_index, allowed_bins, bin_bits in restrictions:
             eff_bits = self.effective_bits(use_index)
             if eff_bits == 0:
                 continue  # this use has no bits at count granularity
             take = min(eff_bits, bin_bits)
-            entry_vals = self.entry_group_values(use_index, take)
+            eff_mask = truncate_mask(
+                self.uses[use_index].mask, self.total_bits, self.granularity
+            )
+            values = gather_use_bits(zone_prefixes, eff_mask, take)
             allowed = np.unique(
                 np.asarray(allowed_bins, dtype=np.uint64) >> np.uint64(bin_bits - take)
             )
-            keep &= np.isin(entry_vals, allowed)
+            keep &= np.isin(values, allowed)
+        return keep
+
+    def entries_matching(
+        self, restrictions: Sequence[Tuple[int, np.ndarray, int]]
+    ) -> np.ndarray:
+        """Count-table entry indices whose groups may satisfy all
+        restrictions (see :meth:`restriction_mask`)."""
+        keep = self.count_table.valid & self.restriction_mask(
+            self.count_table.keys, restrictions
+        )
         return np.flatnonzero(keep)
 
     def all_entries(self) -> np.ndarray:
         return self.count_table.select_entries()
+
+    # ------------------------------------------------------------- updates
+    def keys_for_rows(self, db: Database, row_indices: np.ndarray) -> np.ndarray:
+        """``_bdcc_`` keys for the given rows of the live database,
+        binned with the *existing* dimensions — no renumbering,
+        out-of-domain key values clamp to the nearest bin (the paper's
+        update story).  Shared by the incremental append path and the
+        delta-store placement."""
+        keys = np.zeros(len(row_indices), dtype=np.uint64)
+        for use in self.uses:
+            values = db.resolve_path_values(
+                self.table, use.path, use.dimension.key, rows=row_indices
+            )
+            bins = use.dimension.bin_of_values(values)
+            scatter_bins_into_key(bins, use.dimension.bits, use.mask, keys)
+        return keys
 
 
 def _widest_stored_column(db: Database, table: str) -> Tuple[str, float]:

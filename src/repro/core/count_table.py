@@ -55,6 +55,52 @@ class CountTable:
         counts = np.diff(np.append(offsets, len(prefixes))).astype(np.int64)
         return cls(granularity, keys, counts, offsets, np.ones(len(keys), dtype=bool))
 
+    @classmethod
+    def merge_entries(
+        cls,
+        granularity: int,
+        base_keys: np.ndarray,
+        base_counts: np.ndarray,
+        added_keys: Optional[np.ndarray] = None,
+        added_counts: Optional[np.ndarray] = None,
+        removed_keys: Optional[np.ndarray] = None,
+        removed_counts: Optional[np.ndarray] = None,
+    ) -> "CountTable":
+        """Incremental count-table maintenance: merge per-group deltas
+        into existing entry metadata without re-aggregating the key
+        column.
+
+        ``base_keys``/``base_counts`` are the current (valid) entries in
+        any order; ``added_*`` add tuples per group prefix (new prefixes
+        create new entries in key order), ``removed_*`` subtract (groups
+        reaching zero tuples disappear).  Offsets are recomputed as the
+        running sum in key order — exactly the layout of the merged
+        storage the delta path / compaction produces.
+        """
+        keys = np.asarray(base_keys, dtype=np.uint64)
+        counts = np.asarray(base_counts, dtype=np.int64)
+        pieces_k = [keys]
+        pieces_c = [counts]
+        if added_keys is not None and len(added_keys):
+            pieces_k.append(np.asarray(added_keys, dtype=np.uint64))
+            pieces_c.append(np.asarray(added_counts, dtype=np.int64))
+        if removed_keys is not None and len(removed_keys):
+            pieces_k.append(np.asarray(removed_keys, dtype=np.uint64))
+            pieces_c.append(-np.asarray(removed_counts, dtype=np.int64))
+        all_keys = np.concatenate(pieces_k)
+        all_counts = np.concatenate(pieces_c)
+        uniq, inverse = np.unique(all_keys, return_inverse=True)
+        merged = np.zeros(len(uniq), dtype=np.int64)
+        np.add.at(merged, inverse, all_counts)
+        if np.any(merged < 0):
+            raise ValueError("count-table merge removed more tuples than a group holds")
+        keep = merged > 0
+        uniq = uniq[keep]
+        merged = merged[keep]
+        offsets = np.concatenate([[0], np.cumsum(merged[:-1])]).astype(np.int64) \
+            if len(merged) else np.zeros(0, dtype=np.int64)
+        return cls(granularity, uniq, merged, offsets, np.ones(len(uniq), dtype=bool))
+
     # ------------------------------------------------------------ queries
     @property
     def num_groups(self) -> int:

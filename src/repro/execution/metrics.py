@@ -163,6 +163,14 @@ class ExecutionMetrics:
     cpu_seconds: float = 0.0
     rows_scanned: int = 0
     rows_produced: int = 0
+    #: rows read from delta (uncompacted insert) runs by merge-on-read
+    #: scans; a subset of ``rows_scanned``.
+    delta_rows_scanned: int = 0
+    #: amortized update cost: simulated seconds spent folding delta
+    #: stores back into base layouts (charged by commits, reported next
+    #: to query time by the refresh harness; not part of
+    #: ``total_seconds``).
+    compaction_seconds: float = 0.0
     memory: MemoryTracker = field(default_factory=MemoryTracker)
     #: free-form counters, e.g. per-operator attribution for explain.
     counters: Dict[str, float] = field(default_factory=dict)

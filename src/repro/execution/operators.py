@@ -50,6 +50,7 @@ __all__ = [
     "ExecutionContext",
     "PhysicalOp",
     "PhysicalScan",
+    "DeltaMergeScan",
     "PhysicalFilter",
     "PhysicalProject",
     "MergeJoin",
@@ -253,19 +254,24 @@ class PhysicalScan(PhysicalOp):
     def describe(self) -> str:
         alias = "" if self.alias == self.table else f" as {self.alias}"
         pred = " WHERE ..." if self.predicate is not None else ""
-        return f"Scan {self.table}{alias}{pred}"
+        return f"{self.kind} {self.table}{alias}{pred}"
 
-    def execute(self, ctx: ExecutionContext) -> Relation:
-        if self.replica_note:
-            ctx.metrics.note(self.replica_note)
+    # ------------------------------------------------------- base reading
+    def _read_base(self, ctx: ExecutionContext, want_keys: bool = False):
+        """Charge and materialise the base storage's selected rows.
+
+        Returns ``(columns, keys, num_selected)`` where ``columns`` maps
+        prefixed demanded names to gathered arrays and ``keys`` holds the
+        selected rows' ``_bdcc_`` keys — gathered only when the sandwich
+        uses need them or the caller asks (``want_keys``; the
+        delta-merging subclass merges on them), None otherwise.  Shared
+        between the plain scan and the delta-merging subclass.
+        """
         stored = self.stored
         demanded = list(self.demanded)
         n = stored.stored_rows
         bdcc = stored.bdcc
-
-        # --- row selection (resolved at lowering from metadata) ----------
         rows = self.selected_rows
-        note_bits = list(self.selection_notes)
 
         # --- IO ----------------------------------------------------------
         if rows is None:
@@ -295,10 +301,18 @@ class PhysicalScan(PhysicalOp):
         ctx.metrics.charge_cpu(
             num_selected * len(demanded) * ctx.costs.scan_value, "scan"
         )
+        keys = None
+        if bdcc is not None and (want_keys or self.sandwich_uses):
+            keys = bdcc.keys if rows is None else bdcc.keys[rows]
+        return columns, keys, num_selected
+
+    def _finish(self, ctx: ExecutionContext, columns, keys, num_selected, note_bits):
+        """Surface hidden group columns, assemble the relation, apply the
+        residual predicate."""
+        bdcc = self.stored.bdcc
         owners = {name: self.alias for name in columns}
         uses: List[StreamUse] = []
         if self.sandwich_uses:
-            keys = bdcc.keys if rows is None else bdcc.keys[rows]
             for use_index, eff_bits, column_name in self.sandwich_uses:
                 use = bdcc.uses[use_index]
                 # top eff_bits positions of the full mask == the use's
@@ -329,6 +343,144 @@ class PhysicalScan(PhysicalOp):
             )
             rel = rel.filter(mask)
         return rel
+
+    def execute(self, ctx: ExecutionContext) -> Relation:
+        if self.replica_note:
+            ctx.metrics.note(self.replica_note)
+        columns, keys, num_selected = self._read_base(ctx)
+        return self._finish(
+            ctx, columns, keys, num_selected, list(self.selection_notes)
+        )
+
+
+@dataclass(eq=False)
+class DeltaMergeScan(PhysicalScan):
+    """Merge-on-read scan: the base scan unioned with the table's live
+    delta runs through an order-preserving merge.
+
+    The lowering resolves, per delta run, which rows survive the same
+    count-table restrictions and zone-map ranges the base selection went
+    through (superset semantics — the residual predicate still runs), so
+    pushdown keeps pruning deltas zone-wise.  The merged stream restores
+    the scheme's storage order — ``_bdcc_``-key order (stable: base rows
+    before delta rows, runs in commit order) on BDCC, primary-key order
+    on PK, arrival order on Plain — so every stream property the planner
+    guaranteed (``sorted_on``, carried dimension uses) holds with deltas
+    present and merge/sandwich strategies keep firing.
+    """
+
+    #: (run_index, selected positions within the run), resolved at
+    #: lowering from the delta store's keys/zone maps.
+    delta_selected: Tuple[Tuple[int, np.ndarray], ...] = ()
+
+    kind = "DeltaMergeScan"
+
+    def _delta_rows_selected(self) -> int:
+        return int(sum(len(sel) for _, sel in self.delta_selected))
+
+    def execute(self, ctx: ExecutionContext) -> Relation:
+        if self.replica_note:
+            ctx.metrics.note(self.replica_note)
+        stored = self.stored
+        bdcc = stored.bdcc
+        demanded = list(self.demanded)
+        prefix = self.prefix
+        columns, keys, base_n = self._read_base(ctx, want_keys=True)
+
+        # merge keys may need columns beyond the demanded set (a PK scan
+        # does not have to materialise its sort columns to be ordered,
+        # but merging deltas into that order does need the values read)
+        merge_cols = [
+            c for c in stored.sort_columns if bdcc is None and prefix + c not in columns
+        ]
+        base_rows = self.selected_rows
+        merge_values: Dict[str, List[np.ndarray]] = {
+            c: [stored.columns[c] if base_rows is None else stored.columns[c][base_rows]]
+            for c in merge_cols
+        }
+        if merge_cols:
+            extra_bytes = [
+                base_n * stored.stored_bytes_per_value(c) for c in merge_cols
+            ]
+            ctx.metrics.charge_io(
+                float(sum(extra_bytes)), len(extra_bytes),
+                ctx.disk.time_for_runs(extra_bytes),
+            )
+            ctx.metrics.charge_cpu(
+                base_n * len(merge_cols) * ctx.costs.scan_value, "scan"
+            )
+
+        # --- read the delta runs ----------------------------------------
+        pieces: Dict[str, List[np.ndarray]] = {name: [arr] for name, arr in columns.items()}
+        key_pieces = [keys] if keys is not None else None
+        delta_n = 0
+        delta = stored.delta
+        for run_index, sel in self.delta_selected:
+            run = delta.runs[run_index]
+            if len(sel) == 0:
+                continue
+            delta_n += len(sel)
+            run_bytes = [
+                len(sel) * stored.stored_bytes_per_value(c)
+                for c in demanded + merge_cols
+            ]
+            if bdcc is not None:
+                run_bytes.append(float(len(sel)))  # the run's key column
+            ctx.metrics.charge_io(
+                float(sum(run_bytes)), len(run_bytes),
+                ctx.disk.time_for_runs(run_bytes),
+            )
+            ctx.metrics.charge_cpu(
+                len(sel) * (len(demanded) + len(merge_cols)) * ctx.costs.scan_value,
+                "scan",
+            )
+            for c in demanded:
+                pieces[prefix + c].append(run.columns[c][sel])
+            for c in merge_cols:
+                merge_values[c].append(run.columns[c][sel])
+            if key_pieces is not None:
+                key_pieces.append(run.keys[sel])
+        ctx.metrics.rows_scanned += delta_n
+        ctx.metrics.delta_rows_scanned += delta_n
+        total = base_n + delta_n
+
+        # --- order-preserving merge --------------------------------------
+        if delta_n == 0:
+            merged = columns
+            merged_keys = keys
+        else:
+            if bdcc is not None:
+                all_keys = np.concatenate(key_pieces)
+                order = np.argsort(all_keys, kind="stable")
+                merged_keys = all_keys[order]
+            elif stored.sort_columns:
+                sort_arrays = []
+                for c in stored.sort_columns:
+                    name = prefix + c
+                    if name in pieces:
+                        sort_arrays.append(np.concatenate(pieces[name]))
+                    else:
+                        sort_arrays.append(np.concatenate(merge_values[c]))
+                # lexsort is stable: equal keys keep base-then-commit order
+                order = np.lexsort(tuple(reversed(sort_arrays)))
+                merged_keys = None
+            else:
+                order = None  # arrival order: base first, runs in commit order
+                merged_keys = None
+            if order is None:
+                merged = {name: np.concatenate(arrs) for name, arrs in pieces.items()}
+            else:
+                merged = {
+                    name: np.concatenate(arrs)[order] for name, arrs in pieces.items()
+                }
+            ctx.metrics.charge_cpu(total * ctx.costs.merge_row, "scan")
+
+        note_bits = list(self.selection_notes)
+        note_bits.append(
+            f"delta merge {delta_n} rows from "
+            f"{sum(1 for _, s in self.delta_selected if len(s))} runs"
+        )
+        return self._finish(ctx, merged, merged_keys, total, note_bits)
 
 
 # ---------------------------------------------------------------- filter

@@ -39,6 +39,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..execution.operators import (
+    DeltaMergeScan,
     HashJoin,
     MergeJoin,
     PhysicalFilter,
@@ -160,6 +161,11 @@ class _FragmentPlanner:
     def _split(self, op: PhysicalOp) -> Optional[Tuple[List[PhysicalOp], str]]:
         """Try to turn ``op`` into per-partition clones; None when the
         subtree must stay serial."""
+        if isinstance(op, DeltaMergeScan):
+            # merge-on-read scans split along zone boundaries of the
+            # *merged* base+delta stream (BDCC only); Plain/PK delta
+            # scans stay serial — degrading, never failing
+            return self._split_delta_scan(op)
         if isinstance(op, PhysicalScan):
             return self._split_scan(op)
         if isinstance(op, (PhysicalFilter, PhysicalProject)):
@@ -200,6 +206,91 @@ class _FragmentPlanner:
             for part in parts
         ]
         return clones, note
+
+    # --------------------------------------------------- delta scan splits
+    def _split_delta_scan(
+        self, op: DeltaMergeScan
+    ) -> Optional[Tuple[List[PhysicalOp], str]]:
+        """Partition a merge-on-read scan along BDCC zone boundaries of
+        the merged stream.
+
+        The merged output is ``_bdcc_``-key ordered, and the zone tag is
+        the key's top (count-table granularity) bits — so the stream is
+        zone-major, and cutting it at zone boundaries gives contiguous
+        chunks each fragment can reproduce independently: a fragment
+        merges exactly the base rows and delta-run rows whose zones fall
+        in its range, with the same stable tie order (base first, runs in
+        commit order).  The ordered gather over the fragments is
+        therefore bit-identical to the serial merge.
+        """
+        stored = op.stored
+        bdcc = stored.bdcc
+        if bdcc is None:
+            return None
+        rows = op.selected_rows
+        if rows is None:
+            rows = np.arange(stored.stored_rows, dtype=np.int64)
+        delta = stored.delta
+        run_sels = list(op.delta_selected)
+        total = len(rows) + sum(len(sel) for _, sel in run_sels)
+        max_parts = total // self.min_partition_rows
+        num_parts = min(self.workers, max_parts)
+        if num_parts < 2:
+            return None
+        shift = np.uint64(bdcc.total_bits - bdcc.granularity)
+        base_zones = bdcc.keys[rows] >> shift
+        run_zones = [
+            (index, delta.runs[index].keys[sel] >> shift) for index, sel in run_sels
+        ]
+        all_zones = np.concatenate([base_zones] + [z for _, z in run_zones])
+        uniq, counts = np.unique(all_zones, return_counts=True)
+        if len(uniq) < 2:
+            return None
+        # cut after the zone whose cumulative row count is nearest each
+        # ideal equal-rows position (deterministic, like _pick_cuts)
+        cum = np.cumsum(counts)
+        boundaries: List[int] = []
+        for j in range(1, num_parts):
+            ideal = j * total / num_parts
+            k = int(np.argmin(np.abs(cum - ideal)))
+            zone = int(uniq[k])
+            if (not boundaries or zone > boundaries[-1]) and k < len(uniq) - 1:
+                boundaries.append(zone)
+        if not boundaries:
+            return None
+        bounds = np.asarray(boundaries, dtype=np.uint64)
+
+        def part_of(zones: np.ndarray) -> np.ndarray:
+            return np.searchsorted(bounds, zones, side="left")
+
+        base_part = part_of(base_zones)
+        run_parts = [(index, part_of(zones)) for index, zones in run_zones]
+        parts: List[PhysicalOp] = []
+        n_parts = len(bounds) + 1
+        for p in range(n_parts):
+            part_rows = rows[base_part == p]
+            part_sel = tuple(
+                (index, sel[parts_of_run == p])
+                for (index, sel), (_, parts_of_run) in zip(run_sels, run_parts)
+            )
+            part_live = len(part_rows) + sum(len(s) for _, s in part_sel)
+            share = f"{part_live} of {total} live rows"
+            parts.append(
+                dataclasses.replace(
+                    op,
+                    selected_rows=part_rows,
+                    delta_selected=part_sel,
+                    est_rows=op.est_rows * part_live / max(total, 1),
+                    selection_notes=op.selection_notes
+                    + (f"partition {p + 1}/{n_parts} ({share})",),
+                    rationale=_extend_rationale(op.rationale, f"zone-aligned {share}"),
+                )
+            )
+        note = (
+            f"scan {op.alias}: {len(parts)} zone-aligned base+delta "
+            f"partitions over {total} live rows"
+        )
+        return parts, note
 
     # --------------------------------------------------------- scan splits
     def _split_scan(self, op: PhysicalScan) -> Optional[Tuple[List[PhysicalOp], str]]:

@@ -232,6 +232,7 @@ def run_parallel(
         merged.charge_io(metrics.io_bytes, metrics.io_accesses, metrics.io_seconds)
         merged.charge_cpu(metrics.cpu_seconds)
         merged.rows_scanned += metrics.rows_scanned
+        merged.delta_rows_scanned += metrics.delta_rows_scanned
         for key, value in metrics.counters.items():
             merged.counters[key] = merged.counters.get(key, 0.0) + value
         merged.notes.extend(f"[f{fragment.index}] {note}" for note in metrics.notes)

@@ -74,10 +74,12 @@ class Executor:
         self._plan_cache: "OrderedDict[Tuple[int, tuple], Tuple[object, PhysicalPlan]]" = (
             OrderedDict()
         )
-        #: (id(physical root), workers, min_partition_rows) ->
+        #: (id(physical root), workers, min_partition_rows, epoch) ->
         #: (PhysicalPlan, ParallelPlan); fragmenting reuses the cached
         #: lowering, so changing the worker count never re-lowers a plan.
-        self._fragment_cache: "OrderedDict[Tuple[int, int, int], Tuple[PhysicalPlan, ParallelPlan]]" = (
+        #: Like the plan cache, keys carry the update epoch so fragment
+        #: plans over a stale delta state never run.
+        self._fragment_cache: "OrderedDict[Tuple[int, int, int, int], Tuple[PhysicalPlan, ParallelPlan]]" = (
             OrderedDict()
         )
 
@@ -87,7 +89,10 @@ class Executor:
         from .logical import Plan
 
         node = plan.node if isinstance(plan, Plan) else plan
-        key = (id(node), self.options.cache_key())
+        # the options key carries the physical database's update epoch: a
+        # commit bumps it and invalidates every cached lowering, while
+        # plain reads keep hitting the cache
+        key = (id(node), self.options.cache_key(self.pdb.epoch))
         hit = self._plan_cache.get(key)
         if hit is not None:
             self._plan_cache.move_to_end(key)
@@ -102,7 +107,10 @@ class Executor:
         """The fragment plan of a lowered plan for the current worker
         count (cached; derived from the lowering, never re-lowered)."""
         workers = max(int(self.options.workers), 1)
-        key = (id(pplan.root), workers, int(self.options.min_partition_rows))
+        key = (
+            id(pplan.root), workers, int(self.options.min_partition_rows),
+            self.pdb.epoch,
+        )
         hit = self._fragment_cache.get(key)
         if hit is not None:
             self._fragment_cache.move_to_end(key)

@@ -23,9 +23,12 @@ and zone-map metadata plus predicate-shape selectivities); they only tip
 performance choices such as the hash-join build side.
 
 Lowering is pure: it reads table metadata (count tables, zone maps,
-schema) but never touches row data, charges no metrics, and lowering the
-same plan twice yields equal physical plans — the basis for EXPLAIN
-without execution and for plan caching.
+schema, and — for tables with pending updates — the delta store's keys,
+deletion bitmaps and per-run zone maps) but never touches row data,
+charges no metrics, and lowering the same plan twice against the same
+update epoch yields equal physical plans — the basis for EXPLAIN without
+execution and for plan caching (cache keys carry the epoch, so a commit
+can never serve a stale plan).
 """
 
 from __future__ import annotations
@@ -48,6 +51,7 @@ from ..execution.expressions import (
     Or,
 )
 from ..execution.operators import (
+    DeltaMergeScan,
     HashAgg,
     HashJoin,
     Limit,
@@ -107,16 +111,19 @@ class ExecutionOptions:
     #: count reuses the cached lowering and never re-lowers.
     _RUNTIME_ONLY = frozenset({"workers", "min_partition_rows"})
 
-    def cache_key(self) -> tuple:
+    def cache_key(self, epoch: int = 0) -> tuple:
         # every planning field participates, so a future switch can never
         # be forgotten and serve a stale cached lowering (a new field is
         # included by default; it must be named in _RUNTIME_ONLY to opt
-        # out, which only fragment-level knobs may do)
+        # out, which only fragment-level knobs may do).  The physical
+        # database's update ``epoch`` rides along: a commit bumps it, so
+        # plans lowered against an older delta state can never be served
+        # again — while plain reads (same epoch) keep hitting the cache.
         return tuple(
             getattr(self, spec.name)
             for spec in dataclasses.fields(self)
             if spec.name not in self._RUNTIME_ONLY
-        )
+        ) + (int(epoch),)
 
 
 @dataclass
@@ -348,11 +355,33 @@ class _Lowering:
                 minmax_ranges.append((base, low, high))
 
         rows, note_bits = _resolve_selection(stored, restrictions, minmax_ranges)
-        num_selected = n if rows is None else len(rows)
+
+        # ---- merge-on-read: mask deletions, select delta-run rows -------
+        delta_selected: Tuple[Tuple[int, np.ndarray], ...] = ()
+        delta_live = 0
+        has_delta = stored.has_delta
+        if has_delta:
+            delta = stored.delta
+            if delta.base_deleted.any():
+                if rows is None:
+                    rows = np.flatnonzero(~delta.base_deleted)
+                else:
+                    rows = rows[~delta.base_deleted[rows]]
+                note_bits.append(f"{delta.deleted_base_rows} deleted rows masked")
+            delta_selected, delta_live = self._select_delta_rows(
+                stored, restrictions, minmax_ranges
+            )
+            note_bits.append(
+                f"+{delta_live}/{delta.live_delta_rows} delta rows "
+                f"({len(delta.runs)} runs, epoch {stored.epoch})"
+            )
+        num_selected = (n if rows is None else len(rows)) + delta_live
         # block pruning yields a superset of the qualifying rows; the
         # value-based estimate bounds the residual predicate's effect
+        total_rows = n + (stored.delta.total_delta_rows if has_delta else 0)
         est_rows = min(
-            float(num_selected), n * self._scan_selectivity(stored, prefix, node.predicate)
+            float(num_selected),
+            total_rows * self._scan_selectivity(stored, prefix, node.predicate),
         )
 
         sandwich_uses: List[Tuple[int, int, str]] = []
@@ -378,7 +407,7 @@ class _Lowering:
             )
 
         sorted_on = tuple(prefix + c for c in stored.sort_columns)
-        op = PhysicalScan(
+        scan_fields = dict(
             table=node.table,
             alias=node.alias,
             prefix=prefix,
@@ -395,11 +424,53 @@ class _Lowering:
             rationale=", ".join(rationale_bits),
             replica_note=replica_note,
         )
+        if has_delta:
+            op: PhysicalScan = DeltaMergeScan(delta_selected=delta_selected, **scan_fields)
+        else:
+            op = PhysicalScan(**scan_fields)
         columns = {prefix + c: _value_bytes(stored.columns[c]) for c in demanded}
         owners = {name: node.alias for name in columns}
         for _, _, column_name in sandwich_uses:
             columns[column_name] = 8.0
         return _Stream(op, columns, owners, sorted_on, uses, max(est_rows, 1.0))
+
+    def _select_delta_rows(
+        self, stored, restrictions, minmax_ranges
+    ) -> Tuple[Tuple[Tuple[int, np.ndarray], ...], int]:
+        """Per delta run, the row positions surviving the scan's
+        count-table restrictions and zone-map ranges (the same superset
+        semantics as the base selection: the residual predicate still
+        runs after the merge).
+
+        BDCC restrictions are applied per row over the run's zone tags —
+        mirroring :meth:`~repro.core.bdcc_table.BDCCTable.entries_matching`
+        on the key prefixes — so delta rows binned into brand-new zones
+        (absent from the base count table) are still kept when their bins
+        match.  Zone-map ranges prune via per-run MinMax blocks.
+        """
+        delta = stored.delta
+        bdcc = stored.bdcc
+        selected = []
+        total = 0
+        for run_index, run in enumerate(delta.runs):
+            keep = ~run.deleted
+            if bdcc is not None and restrictions and run.keys is not None:
+                shift = np.uint64(bdcc.total_bits - bdcc.granularity)
+                keep &= bdcc.restriction_mask(run.keys >> shift, restrictions)
+            for column, low, high in minmax_ranges:
+                block_rows = stored.page_model.rows_per_page(
+                    stored.stored_bytes_per_value(column)
+                )
+                index = run.minmax_for(column, block_rows)
+                keep_blocks = index.blocks_overlapping(low, high)
+                if keep_blocks.all():
+                    continue
+                block_of_row = np.arange(run.num_rows) // index.block_rows
+                keep &= keep_blocks[block_of_row]
+            sel = np.flatnonzero(keep)
+            total += len(sel)
+            selected.append((run_index, sel))
+        return tuple(selected), total
 
     def _scan_selectivity(self, stored, prefix: str, predicate: Optional[Expr]) -> float:
         """Predicate selectivity against one stored table: range

@@ -50,6 +50,23 @@ class PhysicalDatabase:
     def table(self, name: str) -> StoredTable:
         return self.stored[name]
 
+    def stored_copies(self, name: str):
+        """Every physical copy of a table: the primary plus replicas.
+        The update path maintains delta state on each."""
+        yield self.stored[name]
+        for copy in self.replicas.get(name, ()):
+            yield copy
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic update counter over all stored tables (primary and
+        replica copies); plan caches key on it so no cached plan survives
+        a commit or compaction."""
+        total = sum(t.epoch for t in self.stored.values())
+        for copies in self.replicas.values():
+            total += sum(t.epoch for t in copies)
+        return total
+
 
 class PhysicalScheme:
     """Base class; subclasses order rows and attach metadata per table."""

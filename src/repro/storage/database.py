@@ -109,6 +109,50 @@ class Database:
             return 0
         return len(next(iter(data.values())))
 
+    # ------------------------------------------------------------- updates
+    def append_table_rows(self, table: str, rows: Dict[str, np.ndarray]) -> Tuple[int, int]:
+        """Append complete rows at the end of a table's arrays.
+
+        Returns ``(n_old, n_new)``.  Numeric columns keep the table's
+        dtype; string columns may widen (numpy promotion), never truncate.
+        """
+        definition = self.schema.table(table)
+        data = self.table_data(table)
+        missing = set(definition.column_names) - set(rows)
+        if missing:
+            raise ValueError(f"table {table!r} insert missing columns: {sorted(missing)}")
+        lengths = {len(np.asarray(v)) for v in rows.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"table {table!r}: ragged insert batch {lengths}")
+        n_new = lengths.pop()
+        n_old = self.num_rows(table)
+        if n_new == 0:
+            return n_old, 0
+        merged: Dict[str, np.ndarray] = {}
+        for name in definition.column_names:
+            base = data[name]
+            extra = np.asarray(rows[name])
+            if base.dtype.kind in "iuf" and extra.dtype != base.dtype:
+                extra = extra.astype(base.dtype)
+            merged[name] = np.concatenate([base, extra])
+        self._tables[table] = merged
+        return n_old, n_new
+
+    def delete_table_rows(self, table: str, mask: np.ndarray) -> int:
+        """Physically remove the rows where ``mask`` is True; returns the
+        number removed.  Callers maintain referential integrity (delete
+        children before, or together with, their parents)."""
+        data = self.table_data(table)
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != self.num_rows(table):
+            raise ValueError(f"table {table!r}: delete mask length mismatch")
+        removed = int(np.count_nonzero(mask))
+        if removed == 0:
+            return 0
+        keep = ~mask
+        self._tables[table] = {name: values[keep] for name, values in data.items()}
+        return removed
+
     @property
     def loaded_tables(self) -> List[str]:
         return list(self._tables)
@@ -132,14 +176,21 @@ class Database:
         return lookup_rows(key_cols, probe_cols)
 
     def resolve_path_values(
-        self, table: str, path: Sequence[str], attributes: Sequence[str]
+        self,
+        table: str,
+        path: Sequence[str],
+        attributes: Sequence[str],
+        rows: Optional[np.ndarray] = None,
     ) -> List[np.ndarray]:
         """Dimension-key attribute values for each row of ``table``,
         resolved over the dimension path (Definition 2).
 
-        With an empty path the attributes are local to ``table``.
+        With an empty path the attributes are local to ``table``.  With
+        ``rows`` only that subset of the table's rows is resolved (the
+        incremental update path bins just the appended rows).
         """
-        rows: Optional[np.ndarray] = None
+        if rows is not None:
+            rows = np.asarray(rows, dtype=np.int64)
         current = table
         for fk_name in path:
             fk = self.schema.foreign_key(fk_name)

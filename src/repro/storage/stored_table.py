@@ -5,6 +5,12 @@ table (generation order for Plain, primary-key order for PK, ``_bdcc_``
 order for BDCC — possibly with a consolidated small-group region), builds
 MinMax indices lazily per column, and knows its page layout for IO
 accounting.
+
+Updates never rewrite the base layout in place: committed changes live in
+an attached delta store (:mod:`repro.updates.delta`) — sorted insert runs
+plus a deletion bitmap — until compaction folds them back in.  ``epoch``
+counts the commits/compactions applied to this table; plan caches key on
+it so a cached plan can never read a stale delta state.
 """
 
 from __future__ import annotations
@@ -32,6 +38,12 @@ class StoredTable:
     sort_columns: Tuple[str, ...] = ()
     #: BDCC metadata when this table is co-clustered.
     bdcc: Optional[BDCCTable] = None
+    #: pending updates (a ``repro.updates.delta.DeltaStore``), or None
+    #: while the table has never been written to since its last compaction.
+    delta: Optional[object] = None
+    #: bumped on every commit/compaction touching this table; plan caches
+    #: include it in their keys.
+    epoch: int = 0
     _minmax: Dict[str, MinMaxIndex] = field(default_factory=dict, repr=False)
 
     @property
@@ -45,6 +57,26 @@ class StoredTable:
         if self.bdcc is not None:
             return self.bdcc.logical_rows
         return self.stored_rows
+
+    # ------------------------------------------------------------- updates
+    @property
+    def has_delta(self) -> bool:
+        """True when reads must merge delta state (live insert runs or
+        deleted base rows)."""
+        return self.delta is not None and self.delta.is_dirty
+
+    @property
+    def live_rows(self) -> int:
+        """Logical rows visible to queries: base minus deleted plus
+        live delta inserts."""
+        if self.delta is None:
+            return self.logical_rows
+        return self.logical_rows - self.delta.deleted_base_rows + self.delta.live_delta_rows
+
+    def invalidate_statistics(self) -> None:
+        """Drop lazily built zone maps (after compaction rewrote the
+        base columns)."""
+        self._minmax.clear()
 
     # ------------------------------------------------------------- layout
     def stored_bytes_per_value(self, column: str) -> float:

@@ -58,6 +58,15 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
             "a speedup table (resource-seconds vs makespan) is printed"
         ),
     )
+    parser.add_argument(
+        "--refresh", type=int, default=0, metavar="N",
+        help=(
+            "run N TPC-H refresh pairs (RF1 inserts / RF2 deletes) through "
+            "the update subsystem instead of the query suite, reporting "
+            "per-scheme refresh cost next to Q1/Q6 latency over the "
+            "refreshed (merge-on-read) state"
+        ),
+    )
     return parser.parse_args(argv)
 
 
@@ -84,6 +93,15 @@ def main(argv: List[str] | None = None) -> int:
     db = generate(scale_factor=args.sf, seed=args.seed)
     env = make_environment(args.sf)
     pdbs = build_schemes(db, env, include=names)
+
+    if args.refresh > 0:
+        from .refresh import run_refresh_suite
+
+        result = run_refresh_suite(
+            pdbs, env, pairs=args.refresh, seed=args.seed
+        )
+        print(result.render())
+        return 0
 
     if args.design:
         from ..core.advisor import SchemaAdvisor

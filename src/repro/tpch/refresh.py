@@ -1,0 +1,267 @@
+"""TPC-H refresh streams RF1/RF2 over the update subsystem.
+
+The spec's refresh functions, scaled like the data generator: one pair
+touches ~0.1% of ORDERS — RF1 inserts new orders with their lineitems
+(keys above the current maximum, dates/priorities/parts drawn with the
+dbgen-style distributions), RF2 deletes an equal number of existing
+orders together with their lineitems (children and parents in one
+commit, so referential integrity holds throughout).
+
+Both run through :class:`~repro.updates.UpdateSession` against every
+scheme at once: inserts bin into existing BDCC zones, deletes mark
+bitmaps, the count tables update incrementally, and compaction kicks in
+when the policy says so.  :func:`run_refresh_suite` alternates refresh
+pairs with probe queries (Q1/Q6 by default) and reports, per scheme, the
+refresh cost next to the query latency — the paper's maintainability
+story quantified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..execution.expressions import Col, InList
+from ..schemes.base import PhysicalDatabase
+from ..storage.database import Database, lookup_rows
+from ..updates import CompactionPolicy, UpdateSession
+from . import text
+from .dates import CURRENT_DATE, ORDER_DATE_MAX, ORDER_DATE_MIN
+from .datagen import _comments
+from .environment import Environment
+from .queries import QUERIES
+from .runner import run_query
+
+__all__ = ["refresh_pair_size", "generate_rf1", "rf2_order_keys", "RefreshResult", "run_refresh_suite"]
+
+
+def refresh_pair_size(scale_factor: float) -> int:
+    """Orders touched per refresh function (SF * 1500, floored for the
+    tiny scale factors the simulator runs at)."""
+    return max(int(1500 * scale_factor), 8)
+
+
+def generate_rf1(
+    db: Database, rng: np.random.Generator, num_orders: int
+) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+    """New ORDERS plus their LINEITEMs, dbgen-style distributions drawn
+    against the *current* database content."""
+    orders = db.table_data("orders")
+    customers = db.table_data("customer")
+    partsupp = db.table_data("partsupp")
+    part = db.table_data("part")
+
+    o_key = orders["o_orderkey"].max() + 1 + np.arange(num_orders, dtype=np.int64)
+    eligible = customers["c_custkey"][customers["c_custkey"] % 3 != 0]
+    o_cust = rng.choice(eligible, num_orders).astype(orders["o_custkey"].dtype)
+    o_date = rng.integers(ORDER_DATE_MIN, ORDER_DATE_MAX + 1, num_orders).astype(np.int32)
+
+    lines_per_order = rng.integers(1, 8, num_orders)
+    n_line = int(lines_per_order.sum())
+    order_row = np.repeat(np.arange(num_orders), lines_per_order)
+    l_orderkey = o_key[order_row]
+    l_linenumber = (
+        np.arange(n_line)
+        - np.repeat(np.cumsum(lines_per_order) - lines_per_order, lines_per_order)
+        + 1
+    ).astype(np.int32)
+    # (partkey, suppkey) pairs come from PARTSUPP so the composite FK holds
+    ps_pick = rng.integers(0, len(partsupp["ps_partkey"]), n_line)
+    l_part = partsupp["ps_partkey"][ps_pick]
+    l_supp = partsupp["ps_suppkey"][ps_pick]
+    part_row = lookup_rows([part["p_partkey"]], [l_part])
+    l_qty = rng.integers(1, 51, n_line).astype(np.float64)
+    l_extprice = np.round(l_qty * part["p_retailprice"][part_row], 2)
+    l_discount = np.round(rng.integers(0, 11, n_line) / 100.0, 2)
+    l_tax = np.round(rng.integers(0, 9, n_line) / 100.0, 2)
+    o_date_per_line = o_date[order_row]
+    l_ship = (o_date_per_line + rng.integers(1, 122, n_line)).astype(np.int32)
+    l_commit = (o_date_per_line + rng.integers(30, 91, n_line)).astype(np.int32)
+    l_receipt = (l_ship + rng.integers(1, 31, n_line)).astype(np.int32)
+    received = l_receipt <= CURRENT_DATE
+    flag_rand = rng.random(n_line) < 0.5
+    l_returnflag = np.where(received, np.where(flag_rand, "R", "A"), "N").astype("<U1")
+    l_linestatus = np.where(l_ship > CURRENT_DATE, "O", "F").astype("<U1")
+
+    lineitem_rows = {
+        "l_orderkey": l_orderkey,
+        "l_partkey": l_part,
+        "l_suppkey": l_supp,
+        "l_linenumber": l_linenumber,
+        "l_quantity": l_qty,
+        "l_extendedprice": l_extprice,
+        "l_discount": l_discount,
+        "l_tax": l_tax,
+        "l_returnflag": l_returnflag,
+        "l_linestatus": l_linestatus,
+        "l_shipdate": l_ship,
+        "l_commitdate": l_commit,
+        "l_receiptdate": l_receipt,
+        "l_shipinstruct": rng.choice(np.array(text.INSTRUCTIONS), n_line),
+        "l_shipmode": rng.choice(np.array(text.MODES), n_line),
+        "l_comment": _comments(rng, n_line, 4, 44),
+    }
+
+    charge = l_extprice * (1.0 + l_tax) * (1.0 - l_discount)
+    o_total = np.round(
+        np.bincount(order_row, weights=charge, minlength=num_orders), 2
+    )
+    open_lines = np.bincount(
+        order_row, weights=(l_linestatus == "O"), minlength=num_orders
+    )
+    o_status = np.where(
+        open_lines == lines_per_order, "O", np.where(open_lines == 0, "F", "P")
+    ).astype("<U1")
+    clerk_domain = np.unique(orders["o_clerk"])
+    orders_rows = {
+        "o_orderkey": o_key.astype(orders["o_orderkey"].dtype),
+        "o_custkey": o_cust,
+        "o_orderstatus": o_status,
+        "o_totalprice": o_total,
+        "o_orderdate": o_date,
+        "o_orderpriority": rng.choice(np.array(text.PRIORITIES), num_orders),
+        "o_clerk": rng.choice(clerk_domain, num_orders),
+        "o_shippriority": np.zeros(num_orders, dtype=orders["o_shippriority"].dtype),
+        "o_comment": _comments(
+            rng, num_orders, 6, 79, inject=("special", "requests"), inject_rate=0.01
+        ),
+    }
+    return orders_rows, lineitem_rows
+
+
+def rf2_order_keys(db: Database, rng: np.random.Generator, num_orders: int) -> np.ndarray:
+    """Existing order keys to delete (sampled without replacement)."""
+    keys = db.table_data("orders")["o_orderkey"]
+    num = min(num_orders, len(keys))
+    return rng.choice(keys, num, replace=False)
+
+
+# -------------------------------------------------------------- harness
+@dataclass
+class RefreshMeasurement:
+    """Per-scheme cost of one refresh pair and its probe queries."""
+
+    scheme: str
+    pair: int
+    rf1_seconds: float = 0.0
+    rf2_seconds: float = 0.0
+    query_seconds: Dict[str, float] = field(default_factory=dict)
+    delta_rows: int = 0
+    compactions: int = 0
+    epoch: int = 0
+
+
+@dataclass
+class RefreshResult:
+    scale_factor: float
+    pairs: int
+    rows_inserted: int = 0
+    rows_deleted: int = 0
+    measurements: List[RefreshMeasurement] = field(default_factory=list)
+
+    def for_scheme(self, scheme: str) -> List[RefreshMeasurement]:
+        return [m for m in self.measurements if m.scheme == scheme]
+
+    def render(self) -> str:
+        schemes = sorted({m.scheme for m in self.measurements})
+        queries = sorted(
+            {q for m in self.measurements for q in m.query_seconds}
+        )
+        lines = [
+            f"TPC-H refresh streams, SF={self.scale_factor}: {self.pairs} RF1/RF2 "
+            f"pairs (+{self.rows_inserted} rows, -{self.rows_deleted} rows)",
+            f"{'scheme':<8}{'pair':>5}{'RF1 ms':>10}{'RF2 ms':>10}"
+            + "".join(f"{q + ' ms':>10}" for q in queries)
+            + f"{'delta rows':>12}{'compactions':>13}",
+        ]
+        for scheme in schemes:
+            for m in self.for_scheme(scheme):
+                lines.append(
+                    f"{scheme:<8}{m.pair:>5}"
+                    f"{m.rf1_seconds * 1e3:>10.3f}{m.rf2_seconds * 1e3:>10.3f}"
+                    + "".join(
+                        f"{m.query_seconds.get(q, 0.0) * 1e3:>10.3f}" for q in queries
+                    )
+                    + f"{m.delta_rows:>12}{m.compactions:>13}"
+                )
+        for scheme in schemes:
+            ms = self.for_scheme(scheme)
+            refresh_total = sum(m.rf1_seconds + m.rf2_seconds for m in ms)
+            query_total = sum(sum(m.query_seconds.values()) for m in ms)
+            num_queries = sum(len(m.query_seconds) for m in ms)
+            lines.append(
+                f"{scheme}: {2 * len(ms) / refresh_total:,.1f} refreshes/s vs "
+                f"{num_queries / query_total:,.1f} queries/s simulated "
+                f"(refresh total {refresh_total * 1e3:.3f} ms, "
+                f"query total {query_total * 1e3:.3f} ms)"
+            )
+        return "\n".join(lines)
+
+
+def run_refresh_suite(
+    physical_dbs: Dict[str, PhysicalDatabase],
+    environment: Environment,
+    pairs: int = 2,
+    seed: int = 7,
+    query_names: Sequence[str] = ("Q01", "Q06"),
+    policy: Optional[CompactionPolicy] = None,
+) -> RefreshResult:
+    """Alternate RF1/RF2 pairs with probe queries under every scheme.
+
+    All schemes share one logical database, so a single session per
+    refresh keeps them consistent; per-scheme costs come from the
+    commit's scheme metrics.
+    """
+    db = next(iter(physical_dbs.values())).database
+    rng = np.random.default_rng(seed)
+    sf = db.scale_factor or environment.scale_factor
+    batch = refresh_pair_size(sf)
+    result = RefreshResult(scale_factor=sf, pairs=pairs)
+
+    for pair in range(pairs):
+        measurements = {
+            scheme: RefreshMeasurement(scheme=scheme, pair=pair + 1)
+            for scheme in physical_dbs
+        }
+        # ---- RF1: insert orders + lineitems -----------------------------
+        session = UpdateSession(
+            *physical_dbs.values(), policy=policy,
+            disk=environment.disk, costs=environment.cost_model,
+        )
+        orders_rows, lineitem_rows = generate_rf1(db, rng, batch)
+        session.insert_rows("orders", orders_rows)
+        session.insert_rows("lineitem", lineitem_rows)
+        rf1 = session.commit()
+        result.rows_inserted += sum(rf1.inserted.values())
+        # ---- RF2: delete orders + their lineitems -----------------------
+        doomed = rf2_order_keys(db, rng, batch)
+        session.delete_where("lineitem", InList(Col("l_orderkey"), doomed.tolist()))
+        session.delete_where("orders", InList(Col("o_orderkey"), doomed.tolist()))
+        rf2 = session.commit()
+        result.rows_deleted += sum(rf2.deleted.values())
+
+        for scheme, m in measurements.items():
+            m.rf1_seconds = rf1.seconds_for(scheme)
+            m.rf2_seconds = rf2.seconds_for(scheme)
+            m.compactions = sum(
+                1 for c in rf1.changes + rf2.changes
+                if c.scheme == scheme and c.compacted
+            )
+            pdb = physical_dbs[scheme]
+            m.delta_rows = sum(
+                stored.delta.live_delta_rows
+                for stored in pdb.stored.values()
+                if stored.delta is not None
+            )
+            m.epoch = pdb.epoch
+            # ---- probe queries over the refreshed state -----------------
+            for qname in query_names:
+                _, metrics = run_query(
+                    pdb, QUERIES[qname],
+                    disk=environment.disk, costs=environment.cost_model,
+                )
+                m.query_seconds[qname] = metrics.total_seconds
+            result.measurements.append(m)
+    return result

@@ -62,6 +62,8 @@ class QueryRunner:
         merged.io_seconds += stage.io_seconds
         merged.cpu_seconds += stage.cpu_seconds
         merged.rows_scanned += stage.rows_scanned
+        merged.delta_rows_scanned += stage.delta_rows_scanned
+        merged.compaction_seconds += stage.compaction_seconds
         merged.rows_produced = stage.rows_produced
         if stage.peak_memory_bytes > merged.memory.peak_bytes:
             merged.memory.peak_bytes = stage.peak_memory_bytes

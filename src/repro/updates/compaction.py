@@ -1,0 +1,168 @@
+"""Compaction: fold delta state back into the base layout.
+
+A deterministic, per-table policy decides when the merge-on-read overhead
+is no longer worth it: once the uncompacted volume (live delta inserts
+plus deleted base rows) exceeds a fraction of the live base, the table is
+rewritten once — base rows minus deletions merged with the delta runs in
+scheme order — and the delta store resets.  The rewrite is charged
+through the :class:`~repro.storage.io_model.DiskModel` (read base +
+deltas, write the merged table, all sequential), which is the amortized
+IO a log-structured engine pays for cheap writes.
+
+BDCC count tables are maintained *incrementally* across the fold
+(:meth:`~repro.core.count_table.CountTable.merge_entries`): per-zone
+counts gain the delta rows and lose the deleted ones; zone identities
+never change — the paper's flat-bin-numbering maintainability argument.
+Small-group consolidation is not re-applied (run Algorithm 1 afresh for
+that); the compacted table's ``row_source`` becomes the identity since
+the merged storage is its own origin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.count_table import CountTable
+from ..core.histograms import collect_granularity_stats
+from ..execution.cost import CostModel
+from ..storage.io_model import DiskModel
+from ..storage.stored_table import StoredTable
+from .delta import DeltaStore
+
+__all__ = ["CompactionPolicy", "compact_table"]
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """When to fold a table's deltas back into the base layout.
+
+    ``max_delta_fraction`` is the per-table threshold on
+    ``(live delta rows + deleted base rows) / live base rows``; ``None``
+    disables compaction entirely (useful for tests that need deltas to
+    persist).  Tables with fewer than ``min_delta_rows`` pending rows are
+    never compacted — a tiny tail is cheaper to merge at read time than
+    to rewrite the table for.
+    """
+
+    max_delta_fraction: Optional[float] = 0.2
+    min_delta_rows: int = 256
+
+    def should_compact(self, stored: StoredTable) -> bool:
+        if self.max_delta_fraction is None:
+            return False
+        delta = stored.delta
+        if delta is None or not delta.is_dirty:
+            return False
+        pending = delta.live_delta_rows + delta.deleted_base_rows
+        if pending < self.min_delta_rows:
+            return False
+        base_live = max(stored.logical_rows - delta.deleted_base_rows, 1)
+        return pending / base_live >= self.max_delta_fraction
+
+
+def _base_logical_rows(stored: StoredTable) -> np.ndarray:
+    """Stored positions of the logical base rows, in storage-read order
+    (for BDCC: valid count-table entries, skipping consolidated-away
+    originals)."""
+    if stored.bdcc is not None:
+        return stored.bdcc.count_table.rows_for_entries(stored.bdcc.all_entries())
+    return np.arange(stored.stored_rows, dtype=np.int64)
+
+
+def _merged_order(
+    stored: StoredTable, base_keys: Optional[np.ndarray], delta: DeltaStore,
+    live_base: np.ndarray,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Permutation merging live base rows (first) and live run rows (in
+    commit order) into scheme storage order; also the merged BDCC keys."""
+    if stored.bdcc is not None:
+        pieces = [base_keys]
+        for run in delta.runs:
+            pieces.append(run.keys[run.live_positions()])
+        all_keys = np.concatenate(pieces)
+        return np.argsort(all_keys, kind="stable"), all_keys
+    if stored.sort_columns:
+        merged_cols = {}
+        for column in stored.sort_columns:
+            pieces = [stored.columns[column][live_base]]
+            for run in delta.runs:
+                pieces.append(run.columns[column][run.live_positions()])
+            merged_cols[column] = np.concatenate(pieces)
+        order = np.lexsort(tuple(merged_cols[c] for c in reversed(stored.sort_columns)))
+        return order, None
+    total = len(live_base) + delta.live_delta_rows
+    return np.arange(total, dtype=np.int64), None
+
+
+def compact_table(
+    stored: StoredTable, disk: DiskModel, costs: CostModel
+) -> Tuple[float, float]:
+    """Rewrite ``stored`` as base ∪ deltas − deleted; returns the charged
+    ``(io_seconds, cpu_seconds)``.
+
+    The table's epoch bumps, its zone maps are rebuilt lazily over the
+    new storage, and its delta store is cleared.
+    """
+    delta = stored.delta
+    if delta is None or not delta.is_dirty:
+        return 0.0, 0.0
+
+    base_rows = _base_logical_rows(stored)
+    live_base = base_rows[~delta.base_deleted[base_rows]]
+    bdcc = stored.bdcc
+    base_keys = bdcc.keys[live_base] if bdcc is not None else None
+    order, merged_keys = _merged_order(stored, base_keys, delta, live_base)
+
+    merged_columns = {}
+    read_bytes: List[float] = []
+    write_bytes: List[float] = []
+    for name in stored.columns:
+        pieces = [stored.columns[name][live_base]]
+        for run in delta.runs:
+            pieces.append(run.columns[name][run.live_positions()])
+        merged = np.concatenate(pieces)[order]
+        merged_columns[name] = merged
+        width = stored.stored_bytes_per_value(name)
+        read_bytes.append((len(live_base) + delta.live_delta_rows) * width)
+        write_bytes.append(len(merged) * width)
+    n = len(next(iter(merged_columns.values()))) if merged_columns else 0
+
+    if bdcc is not None:
+        merged_keys = merged_keys[order]
+        shift = np.uint64(bdcc.total_bits - bdcc.granularity)
+        ct = bdcc.count_table
+        valid = np.flatnonzero(ct.valid)
+        deleted_rows = base_rows[delta.base_deleted[base_rows]]
+        removed_keys, removed_counts = np.unique(
+            bdcc.keys[deleted_rows] >> shift, return_counts=True
+        )
+        added: List[np.ndarray] = [
+            run.keys[run.live_positions()] >> shift for run in delta.runs
+        ]
+        added_all = np.concatenate(added) if added else np.zeros(0, dtype=np.uint64)
+        added_keys, added_counts = np.unique(added_all, return_counts=True)
+        bdcc.count_table = CountTable.merge_entries(
+            ct.granularity,
+            ct.keys[valid], ct.counts[valid],
+            added_keys=added_keys, added_counts=added_counts,
+            removed_keys=removed_keys, removed_counts=removed_counts,
+        )
+        bdcc.keys = merged_keys
+        bdcc.row_source = np.arange(n, dtype=np.int64)
+        bdcc.logical_rows = n
+        bdcc.stats = collect_granularity_stats(merged_keys, bdcc.total_bits)
+        # read the key column (RLE, ~1 byte/tuple) and rewrite it too
+        read_bytes.append(float(len(live_base) + delta.live_delta_rows))
+        write_bytes.append(float(n))
+
+    stored.columns = merged_columns
+    stored.invalidate_statistics()
+    stored.delta = DeltaStore(base_deleted=np.zeros(n, dtype=bool))
+    stored.epoch += 1
+
+    io_seconds = disk.time_for_runs(read_bytes) + disk.time_for_runs(write_bytes)
+    cpu_seconds = n * costs.merge_row + n * costs.scan_value * max(len(merged_columns), 1)
+    return io_seconds, cpu_seconds

@@ -1,0 +1,139 @@
+"""Delta stores: the write side of merge-on-read updates.
+
+A :class:`DeltaStore` hangs off a :class:`~repro.storage.stored_table.StoredTable`
+and holds everything committed since the table was built (or last
+compacted):
+
+* **insert runs** — one :class:`DeltaRun` per committed batch, its rows
+  ordered the way the table's scheme orders storage (generation order for
+  Plain, primary-key order for PK, ``_bdcc_``-key order for BDCC).  BDCC
+  runs additionally carry the per-row clustering keys: new tuples are
+  binned with the table's *existing* dimensions — out-of-domain key
+  values clamp to the nearest bin, the paper's flat-numbering update
+  story — so every delta row is tagged with the zone it belongs to and
+  pushdown/sandwiching keep working over deltas;
+* a **deletion bitmap** over the base storage plus one per run, so
+  deletes never rewrite anything either.
+
+Per-run zone maps (:class:`~repro.storage.minmax.MinMaxIndex`, built
+lazily like the base table's) let the scan prune delta runs with the same
+superset semantics as base blocks.  Reads merge base and deltas through
+:class:`~repro.execution.operators.DeltaMergeScan`; compaction
+(:mod:`repro.updates.compaction`) folds everything back into the base
+layout and resets the store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..storage.database import Database
+from ..storage.minmax import MinMaxIndex
+from ..storage.stored_table import StoredTable
+
+__all__ = ["DeltaRun", "DeltaStore", "ensure_delta", "place_delta_run"]
+
+
+@dataclass
+class DeltaRun:
+    """One committed insert batch, rows in scheme storage order."""
+
+    columns: Dict[str, np.ndarray]
+    #: full-granularity ``_bdcc_`` keys per row (BDCC tables only).
+    keys: Optional[np.ndarray] = None
+    #: rows of this run deleted by a later (or the same) commit.
+    deleted: np.ndarray = None  # type: ignore[assignment]
+    _minmax: Dict[str, MinMaxIndex] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.deleted is None:
+            self.deleted = np.zeros(self.num_rows, dtype=bool)
+
+    @property
+    def num_rows(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def live_rows(self) -> int:
+        return self.num_rows - int(np.count_nonzero(self.deleted))
+
+    def live_positions(self) -> np.ndarray:
+        return np.flatnonzero(~self.deleted)
+
+    def minmax_for(self, column: str, block_rows: int) -> MinMaxIndex:
+        """Zone map over this run's values of one column (lazy, like the
+        base table's)."""
+        index = self._minmax.get(column)
+        if index is None:
+            index = MinMaxIndex.build(self.columns[column], max(block_rows, 1))
+            self._minmax[column] = index
+        return index
+
+
+@dataclass
+class DeltaStore:
+    """All uncompacted update state of one stored table."""
+
+    #: deletion bitmap over the base storage (stored positions, so
+    #: consolidated duplicate regions are marked consistently too).
+    base_deleted: np.ndarray
+    runs: List[DeltaRun] = field(default_factory=list)
+
+    @property
+    def is_dirty(self) -> bool:
+        return bool(self.runs) or bool(self.base_deleted.any())
+
+    @property
+    def live_delta_rows(self) -> int:
+        return sum(run.live_rows for run in self.runs)
+
+    @property
+    def total_delta_rows(self) -> int:
+        return sum(run.num_rows for run in self.runs)
+
+    @property
+    def deleted_base_rows(self) -> int:
+        return int(np.count_nonzero(self.base_deleted))
+
+
+def ensure_delta(stored: StoredTable) -> DeltaStore:
+    """The table's delta store, created empty on first write."""
+    if stored.delta is None:
+        stored.delta = DeltaStore(
+            base_deleted=np.zeros(stored.stored_rows, dtype=bool)
+        )
+    return stored.delta
+
+
+def place_delta_run(
+    stored: StoredTable, db: Database, n_old: int, n_new: int
+) -> DeltaRun:
+    """Build one scheme-ordered :class:`DeltaRun` for the ``n_new`` rows
+    just appended to the logical database (they sit at positions
+    ``n_old .. n_old+n_new`` of the db arrays).
+
+    Placement per scheme: BDCC runs are binned into existing zones and
+    key-sorted; PK runs are sorted on the primary key; Plain runs keep
+    arrival order.
+    """
+    data = db.table_data(stored.name)
+    row_indices = np.arange(n_old, n_old + n_new, dtype=np.int64)
+    columns = {name: values[row_indices] for name, values in data.items()}
+    if stored.bdcc is not None:
+        keys = stored.bdcc.keys_for_rows(db, row_indices)
+        order = np.argsort(keys, kind="stable")
+        return DeltaRun(
+            columns={name: values[order] for name, values in columns.items()},
+            keys=keys[order],
+        )
+    if stored.sort_columns:
+        order = np.lexsort(tuple(columns[c] for c in reversed(stored.sort_columns)))
+        return DeltaRun(
+            columns={name: values[order] for name, values in columns.items()}
+        )
+    return DeltaRun(columns=columns)

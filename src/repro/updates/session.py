@@ -1,0 +1,281 @@
+"""The write API: buffered inserts/deletes committed atomically.
+
+An :class:`UpdateSession` spans one *logical* database and every physical
+database materialised over it — committing once keeps the logical arrays
+(what the naive reference evaluator and dimension paths read) and every
+scheme's delta stores in step:
+
+.. code-block:: python
+
+    session = UpdateSession(pdb)              # or UpdateSession(plain, pk, bdcc)
+    session.insert_rows("orders", new_orders)
+    session.insert_rows("lineitem", new_lineitems)
+    session.delete_where("lineitem", col("l_orderkey").isin(stale))
+    result = session.commit()                 # binning, delta runs, maybe compaction
+
+Commit semantics:
+
+* inserts are applied parents-first (the schema's leaves-first order), so
+  dimension paths over foreign keys resolve for rows inserted in the same
+  commit; each insert must supply every column of the table, and callers
+  keep primary keys unique and foreign keys resolvable;
+* deletes run after the inserts (they see this commit's rows) in the
+  order declared — delete children before, or together with, their
+  parents (the TPC-H RF2 pattern);
+* every touched stored table gets its ``epoch`` bumped, its delta runs
+  binned into *existing* BDCC zones (out-of-domain keys clamp), and its
+  count-table view maintained incrementally — never rebuilt;
+* the compaction policy then folds any table whose delta volume crossed
+  the threshold, charging the amortized rewrite IO to the commit.
+
+The returned :class:`CommitResult` carries per-scheme simulated cost
+(binning CPU + delta-write IO + compaction) — the refresh-stream
+"cost of updates" measurement — and the new epoch per physical database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..execution.cost import DEFAULT_COSTS, CostModel
+from ..execution.expressions import Expr
+from ..execution.metrics import ExecutionMetrics
+from ..schemes.base import PhysicalDatabase
+from ..storage.database import Database
+from ..storage.io_model import PAPER_SSD, DiskModel
+from ..storage.stored_table import StoredTable
+from .compaction import CompactionPolicy, compact_table
+from .delta import ensure_delta, place_delta_run
+
+__all__ = ["UpdateSession", "CommitResult", "TableChange"]
+
+
+@dataclass
+class TableChange:
+    """What one commit did to one stored copy of one table."""
+
+    scheme: str
+    table: str
+    rows_inserted: int = 0
+    rows_deleted: int = 0
+    delta_rows: int = 0        # live delta rows after the commit
+    compacted: bool = False
+    epoch: int = 0
+
+
+@dataclass
+class CommitResult:
+    """Outcome of one :meth:`UpdateSession.commit`."""
+
+    inserted: Dict[str, int] = field(default_factory=dict)
+    deleted: Dict[str, int] = field(default_factory=dict)
+    changes: List[TableChange] = field(default_factory=list)
+    #: simulated commit cost per scheme (binning/sorting CPU, delta-write
+    #: IO, compaction IO+CPU; compaction also appears on
+    #: ``metrics.compaction_seconds``).
+    scheme_metrics: Dict[str, ExecutionMetrics] = field(default_factory=dict)
+    #: epoch of each physical database after the commit.
+    epochs: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.inserted and not self.deleted
+
+    def seconds_for(self, scheme: str) -> float:
+        metrics = self.scheme_metrics.get(scheme)
+        if metrics is None:
+            return 0.0
+        return metrics.total_seconds + metrics.compaction_seconds
+
+    def compacted_tables(self, scheme: Optional[str] = None) -> List[str]:
+        return sorted(
+            {
+                c.table
+                for c in self.changes
+                if c.compacted and (scheme is None or c.scheme == scheme)
+            }
+        )
+
+
+class UpdateSession:
+    """Buffered inserts and deletes over one logical database and any
+    number of physical databases built from it."""
+
+    def __init__(
+        self,
+        *physical_dbs: PhysicalDatabase,
+        policy: Optional[CompactionPolicy] = None,
+        disk: Optional[DiskModel] = None,
+        costs: Optional[CostModel] = None,
+    ):
+        if not physical_dbs:
+            raise ValueError("UpdateSession needs at least one physical database")
+        self.pdbs: Tuple[PhysicalDatabase, ...] = tuple(physical_dbs)
+        self.db: Database = self.pdbs[0].database
+        for pdb in self.pdbs[1:]:
+            if pdb.database is not self.db:
+                raise ValueError(
+                    "all physical databases of one session must share the "
+                    "same logical database"
+                )
+        self.policy = policy or CompactionPolicy()
+        self.disk = disk or PAPER_SSD
+        self.costs = costs or DEFAULT_COSTS
+        self._inserts: List[Tuple[str, Dict[str, np.ndarray]]] = []
+        self._deletes: List[Tuple[str, Expr]] = []
+
+    # ------------------------------------------------------------ buffering
+    def insert_rows(self, table: str, rows: Dict[str, np.ndarray]) -> None:
+        """Queue complete rows for ``table`` (all columns required)."""
+        self.db.schema.table(table)  # fail fast on unknown tables
+        self._inserts.append((table, {k: np.asarray(v) for k, v in rows.items()}))
+
+    def delete_where(self, table: str, predicate: Expr) -> None:
+        """Queue deletion of every row of ``table`` matching
+        ``predicate`` (expressed over the table's own column names)."""
+        self.db.schema.table(table)
+        self._deletes.append((table, predicate))
+
+    # ------------------------------------------------------------- commit
+    def _ordered_inserts(self) -> List[Tuple[str, Dict[str, np.ndarray]]]:
+        """Pending inserts, parents before children (batches of the same
+        table keep their declaration order)."""
+        order = {t: i for i, t in enumerate(self.db.schema.leaves_first_order())}
+        indexed = sorted(
+            enumerate(self._inserts),
+            key=lambda item: (order.get(item[1][0], len(order)), item[0]),
+        )
+        return [item for _, item in indexed]
+
+    def _charge_insert(
+        self, metrics: ExecutionMetrics, stored: StoredTable, n_new: int
+    ) -> None:
+        """Simulated cost of placing one delta run: bin/sort CPU plus one
+        sequential append write per column (and the key column on BDCC)."""
+        num_uses = len(stored.bdcc.uses) if stored.bdcc is not None else 0
+        cpu = n_new * self.costs.expr_value * max(num_uses, 1)
+        if stored.bdcc is not None or stored.sort_columns:
+            cpu += n_new * max(np.log2(max(n_new, 2)), 1.0) * self.costs.sort_row
+        metrics.charge_cpu(cpu, "update")
+        write_bytes = [
+            n_new * stored.stored_bytes_per_value(c) for c in stored.columns
+        ]
+        if stored.bdcc is not None:
+            write_bytes.append(float(n_new))  # RLE key column
+        metrics.charge_io(
+            float(sum(write_bytes)), len(write_bytes),
+            self.disk.time_for_runs(write_bytes),
+        )
+
+    def _validate_pending(self) -> None:
+        """Fail the whole commit *before* anything is applied: every
+        insert batch must be complete and rectangular, every delete
+        predicate must only name columns of its table.  (Commits are
+        atomic by validation: nothing below this point raises on
+        well-formed data.)"""
+        for table, rows in self._inserts:
+            definition = self.db.schema.table(table)
+            missing = set(definition.column_names) - set(rows)
+            if missing:
+                raise ValueError(
+                    f"table {table!r} insert missing columns: {sorted(missing)}"
+                )
+            lengths = {len(v) for v in rows.values()}
+            if len(lengths) > 1:
+                raise ValueError(f"table {table!r}: ragged insert batch {lengths}")
+        for table, predicate in self._deletes:
+            known = set(self.db.schema.table(table).column_names)
+            unknown = predicate.columns() - known
+            if unknown:
+                raise ValueError(
+                    f"table {table!r} delete predicate references unknown "
+                    f"columns: {sorted(unknown)}"
+                )
+
+    def commit(self) -> CommitResult:
+        """Apply all buffered changes; returns the per-scheme outcome.
+        The session is reusable afterwards."""
+        result = CommitResult()
+        if not self._inserts and not self._deletes:
+            for pdb in self.pdbs:
+                result.epochs[pdb.scheme_name] = pdb.epoch
+            return result
+        self._validate_pending()
+        per_table: Dict[Tuple[str, str], TableChange] = {}
+
+        def change_for(pdb: PhysicalDatabase, stored: StoredTable) -> TableChange:
+            key = (pdb.scheme_name, stored.name)
+            if key not in per_table:
+                per_table[key] = TableChange(scheme=pdb.scheme_name, table=stored.name)
+            return per_table[key]
+
+        for pdb in self.pdbs:
+            result.scheme_metrics.setdefault(pdb.scheme_name, ExecutionMetrics())
+
+        # ---- inserts, parents first --------------------------------------
+        for table, rows in self._ordered_inserts():
+            n_old, n_new = self.db.append_table_rows(table, rows)
+            if n_new == 0:
+                continue
+            result.inserted[table] = result.inserted.get(table, 0) + n_new
+            for pdb in self.pdbs:
+                metrics = result.scheme_metrics[pdb.scheme_name]
+                for stored in pdb.stored_copies(table):
+                    run = place_delta_run(stored, self.db, n_old, n_new)
+                    ensure_delta(stored).runs.append(run)
+                    self._charge_insert(metrics, stored, n_new)
+                # logical row counts: once per table, not per replica copy
+                change_for(pdb, pdb.table(table)).rows_inserted += n_new
+
+        # ---- deletes, in declaration order -------------------------------
+        for table, predicate in self._deletes:
+            mask = np.asarray(predicate.eval(self.db.table_data(table)), dtype=bool)
+            removed = self.db.delete_table_rows(table, mask)
+            if removed == 0:
+                continue  # nothing matched anywhere: no marks, no epoch bump
+            result.deleted[table] = result.deleted.get(table, 0) + removed
+            for pdb in self.pdbs:
+                metrics = result.scheme_metrics[pdb.scheme_name]
+                for stored in pdb.stored_copies(table):
+                    delta = ensure_delta(stored)
+                    base_mask = np.asarray(
+                        predicate.eval(stored.columns), dtype=bool
+                    )
+                    delta.base_deleted |= base_mask
+                    for run in delta.runs:
+                        run_mask = np.asarray(predicate.eval(run.columns), dtype=bool)
+                        run.deleted |= run_mask
+                    metrics.charge_cpu(
+                        (stored.stored_rows + delta.total_delta_rows)
+                        * max(len(predicate.columns()), 1) * self.costs.expr_value,
+                        "update",
+                    )
+                # logical deletion count, once per table (the db-side count;
+                # stored-side marks may cover consolidated duplicates too)
+                change_for(pdb, pdb.table(table)).rows_deleted += removed
+
+        # ---- epoch bumps + compaction ------------------------------------
+        for pdb in self.pdbs:
+            metrics = result.scheme_metrics[pdb.scheme_name]
+            for (scheme, _), change in per_table.items():
+                if scheme != pdb.scheme_name:
+                    continue
+                for stored in pdb.stored_copies(change.table):
+                    stored.epoch += 1
+                    if self.policy.should_compact(stored):
+                        io_s, cpu_s = compact_table(stored, self.disk, self.costs)
+                        metrics.compaction_seconds += io_s + cpu_s
+                        change.compacted = True
+                    change.delta_rows = (
+                        stored.delta.live_delta_rows if stored.delta is not None else 0
+                    )
+                    change.epoch = stored.epoch
+            result.epochs[pdb.scheme_name] = pdb.epoch
+        result.changes = list(per_table.values())
+
+        self._inserts = []
+        self._deletes = []
+        return result

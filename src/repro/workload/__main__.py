@@ -15,7 +15,12 @@ from typing import List
 from ..tpch.datagen import generate
 from ..tpch.environment import make_environment
 from ..tpch.harness import build_schemes
-from .differential import ablation_variants, run_differential, worker_count_variants
+from .differential import (
+    ablation_variants,
+    run_differential,
+    run_update_differential,
+    worker_count_variants,
+)
 
 __all__ = ["main"]
 
@@ -48,6 +53,15 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
             "default run (the full ablation grid already includes 2 and 4)"
         ),
     )
+    parser.add_argument(
+        "--updates", type=int, default=0, metavar="ROUNDS",
+        help=(
+            "run the update-aware sweep instead: ROUNDS seeded insert/delete "
+            "batches committed through an UpdateSession, each followed by "
+            "generated queries checked against the reference (which reads "
+            "the shared logical database, so it sees every commit)"
+        ),
+    )
     parser.add_argument("--fail-fast", action="store_true", help="stop at the first divergence")
     parser.add_argument("--verbose", action="store_true", help="per-query progress")
     return parser.parse_args(argv)
@@ -76,17 +90,32 @@ def main(argv: List[str] | None = None) -> int:
         counts = [int(n) for n in args.workers.split(",") if n.strip()]
         variants.update(worker_count_variants([n for n in counts if n > 1]))
 
-    report = run_differential(
-        pdbs,
-        seed=args.seed,
-        num_queries=args.queries,
-        variants=variants,
-        disk=env.disk,
-        costs=env.cost_model,
-        fail_fast=args.fail_fast,
-        progress=progress,
-        repro_flags=f"--sf {args.sf} --datagen-seed {args.datagen_seed}",
-    )
+    repro_flags = f"--sf {args.sf} --datagen-seed {args.datagen_seed}"
+    if args.updates > 0:
+        report = run_update_differential(
+            pdbs,
+            seed=args.seed,
+            rounds=args.updates,
+            queries_per_round=max(args.queries // args.updates, 1),
+            variants=variants,
+            disk=env.disk,
+            costs=env.cost_model,
+            fail_fast=args.fail_fast,
+            progress=progress,
+            repro_flags=repro_flags + f" --updates {args.updates}",
+        )
+    else:
+        report = run_differential(
+            pdbs,
+            seed=args.seed,
+            num_queries=args.queries,
+            variants=variants,
+            disk=env.disk,
+            costs=env.cost_model,
+            fail_fast=args.fail_fast,
+            progress=progress,
+            repro_flags=repro_flags,
+        )
     print(report.render())
     print(f"({time.time() - started:.1f}s)", file=sys.stderr)
     return 0 if report.ok else 1

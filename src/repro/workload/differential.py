@@ -33,6 +33,7 @@ __all__ = [
     "normalized_rows",
     "rows_match",
     "run_differential",
+    "run_update_differential",
 ]
 
 _SWITCHES = (
@@ -211,6 +212,11 @@ class WorkloadReport:
     strategies: Dict[str, int] = field(default_factory=dict)
     #: per-operator-kind actuals accumulated over the default-variant runs
     operator_totals: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: update-aware sweeps only: committed batches and their volume
+    commits: int = 0
+    rows_inserted: int = 0
+    rows_deleted: int = 0
+    compactions: int = 0
 
     @property
     def ok(self) -> bool:
@@ -221,6 +227,11 @@ class WorkloadReport:
             f"workload differential: seed={self.seed} queries={self.queries} "
             f"executions={self.executions} divergences={len(self.divergences)}"
         ]
+        if self.commits:
+            lines.append(
+                f"updates: {self.commits} commits (+{self.rows_inserted} rows, "
+                f"-{self.rows_deleted} rows, {self.compactions} compactions)"
+            )
         if self.strategies:
             strategies = ", ".join(
                 f"{kind}={count}" for kind, count in sorted(self.strategies.items())
@@ -327,75 +338,208 @@ def run_differential(
 
     for index in range(num_queries):
         query = generator.generate(seed, index)
-        reference = evaluate_reference(db, query.plan)
-        expected_names = sorted(reference.visible_names)
-        expected = normalized_rows(reference.columns, expected_names)
-        serial_relations: Dict[str, object] = {}
-
-        for (scheme, variant), executor in executors.items():
-            result = executor.execute(query.plan)
-            report.executions += 1
-            if variant == "default":
-                serial_relations[scheme] = result.relation
-            got_names = sorted(result.relation.column_names)
-            if got_names != expected_names:
-                detail = f"column mismatch: expected {expected_names}, got {got_names}"
-                got = None
-            else:
-                got = normalized_rows(result.relation.columns, got_names)
-                detail = None if rows_match(expected, got) else _diff_detail(expected, got)
-            if (
-                detail is None
-                and executor.options.workers > 1
-                and scheme in serial_relations
-            ):
-                mismatch = _bitwise_mismatch(serial_relations[scheme], result.relation)
-                if mismatch is not None:
-                    detail = (
-                        f"workers={executor.options.workers} diverges bit-for-bit "
-                        f"from the serial default run:\n{mismatch}"
-                    )
-            if detail is not None:
-                pplan = executor.lower(query.plan)
-                report.divergences.append(
-                    Divergence(
-                        seed=seed,
-                        index=index,
-                        scheme=scheme,
-                        variant=variant,
-                        description=query.description,
-                        logical_plan=format_plan(query.plan),
-                        physical_plan=format_physical_plan(
-                            pplan, verbose=True, metrics=result.metrics
-                        ),
-                        detail=detail,
-                        repro_flags=repro_flags,
-                    )
-                )
-                if fail_fast:
-                    return report
-            elif variant == "default":
-                pplan = executor.lower(query.plan)
-                for op in pplan.operators():
-                    report.strategies[op.kind] = report.strategies.get(op.kind, 0) + 1
-                    actuals = result.metrics.actuals_for(op)
-                    if actuals is None:
-                        continue
-                    totals = report.operator_totals.setdefault(
-                        op.kind,
-                        {
-                            "calls": 0.0,
-                            "rows_out": 0.0,
-                            "io_seconds": 0.0,
-                            "cpu_seconds": 0.0,
-                            "reserved_bytes": 0.0,
-                        },
-                    )
-                    totals["calls"] += 1
-                    totals["rows_out"] += actuals.rows_out
-                    totals["io_seconds"] += actuals.io_seconds
-                    totals["cpu_seconds"] += actuals.cpu_seconds
-                    totals["reserved_bytes"] += actuals.reserved_bytes
+        _check_one_query(report, executors, db, query, repro_flags)
+        if report.divergences and fail_fast:
+            return report
         if progress is not None:
             progress(index + 1, num_queries)
+    return report
+
+
+def _check_one_query(
+    report: WorkloadReport,
+    executors: Dict[Tuple[str, str], "Executor"],
+    db,
+    query,
+    repro_flags: str,
+) -> None:
+    """Run one generated query under every (scheme, variant) executor and
+    record divergences against the naive reference (parallel variants
+    additionally bit-for-bit against the scheme's serial default run)."""
+    reference = evaluate_reference(db, query.plan)
+    expected_names = sorted(reference.visible_names)
+    expected = normalized_rows(reference.columns, expected_names)
+    serial_relations: Dict[str, object] = {}
+
+    for (scheme, variant), executor in executors.items():
+        result = executor.execute(query.plan)
+        report.executions += 1
+        if variant == "default":
+            serial_relations[scheme] = result.relation
+        got_names = sorted(result.relation.column_names)
+        if got_names != expected_names:
+            detail = f"column mismatch: expected {expected_names}, got {got_names}"
+            got = None
+        else:
+            got = normalized_rows(result.relation.columns, got_names)
+            detail = None if rows_match(expected, got) else _diff_detail(expected, got)
+        if (
+            detail is None
+            and executor.options.workers > 1
+            and scheme in serial_relations
+        ):
+            mismatch = _bitwise_mismatch(serial_relations[scheme], result.relation)
+            if mismatch is not None:
+                detail = (
+                    f"workers={executor.options.workers} diverges bit-for-bit "
+                    f"from the serial default run:\n{mismatch}"
+                )
+        if detail is not None:
+            pplan = executor.lower(query.plan)
+            report.divergences.append(
+                Divergence(
+                    seed=query.seed,
+                    index=query.index,
+                    scheme=scheme,
+                    variant=variant,
+                    description=query.description,
+                    logical_plan=format_plan(query.plan),
+                    physical_plan=format_physical_plan(
+                        pplan, verbose=True, metrics=result.metrics
+                    ),
+                    detail=detail,
+                    repro_flags=repro_flags,
+                )
+            )
+        elif variant == "default":
+            pplan = executor.lower(query.plan)
+            for op in pplan.operators():
+                report.strategies[op.kind] = report.strategies.get(op.kind, 0) + 1
+                actuals = result.metrics.actuals_for(op)
+                if actuals is None:
+                    continue
+                totals = report.operator_totals.setdefault(
+                    op.kind,
+                    {
+                        "calls": 0.0,
+                        "rows_out": 0.0,
+                        "io_seconds": 0.0,
+                        "cpu_seconds": 0.0,
+                        "reserved_bytes": 0.0,
+                    },
+                )
+                totals["calls"] += 1
+                totals["rows_out"] += actuals.rows_out
+                totals["io_seconds"] += actuals.io_seconds
+                totals["cpu_seconds"] += actuals.cpu_seconds
+                totals["reserved_bytes"] += actuals.reserved_bytes
+
+
+def _append_second_reference(
+    report: WorkloadReport,
+    physical_dbs: Dict[str, PhysicalDatabase],
+    batch,
+    repro_flags: str,
+) -> None:
+    """Cross-check the incremental append path against the full-rebuild
+    slow path (``append_rows(..., rebuild=True)``) — valid on the first,
+    insert-only commit, while the BDCC base tables still match the
+    pristine build.  Key order, row placement and the incrementally
+    merged count table must agree exactly."""
+    import numpy as np
+
+    from ..core.append import append_rows
+
+    bdcc_pdb = next(
+        (pdb for pdb in physical_dbs.values() if pdb.bdcc_tables()), None
+    )
+    if bdcc_pdb is None:
+        return
+    db = bdcc_pdb.database
+    for table, rows in batch.inserts:
+        stored = bdcc_pdb.table(table)
+        if stored.bdcc is None:
+            continue
+        incremental = append_rows(stored.bdcc, db, rows)
+        rebuilt = append_rows(stored.bdcc, db, rows, rebuild=True)
+        same = (
+            np.array_equal(incremental.keys, rebuilt.keys)
+            and np.array_equal(incremental.row_source, rebuilt.row_source)
+            and np.array_equal(incremental.count_table.keys, rebuilt.count_table.keys)
+            and np.array_equal(incremental.count_table.counts, rebuilt.count_table.counts)
+            and np.array_equal(incremental.count_table.offsets, rebuilt.count_table.offsets)
+        )
+        if not same:
+            report.divergences.append(
+                Divergence(
+                    seed=batch.seed,
+                    index=batch.index,
+                    scheme=bdcc_pdb.scheme_name,
+                    variant="append-rebuild-reference",
+                    description=batch.description,
+                    logical_plan=f"append {len(next(iter(rows.values())))} rows to {table}",
+                    physical_plan="(incremental append vs rebuild=True reference)",
+                    detail="incremental append diverges from the full rebuild",
+                    repro_flags=repro_flags,
+                )
+            )
+
+
+def run_update_differential(
+    physical_dbs: Dict[str, PhysicalDatabase],
+    seed: int = 0,
+    rounds: int = 5,
+    queries_per_round: int = 5,
+    variants: Optional[Dict[str, ExecutionOptions]] = None,
+    disk: Optional[DiskModel] = None,
+    costs: Optional[CostModel] = None,
+    fail_fast: bool = False,
+    progress: Optional[Callable[[int, int], None]] = None,
+    repro_flags: str = "",
+    policy=None,
+) -> WorkloadReport:
+    """The update-aware sweep: seeded insert/delete batches committed
+    through one :class:`~repro.updates.UpdateSession` (all schemes share
+    the logical database, so the naive reference sees every change
+    automatically), each commit followed by ``queries_per_round``
+    generated queries checked against the reference under every
+    scheme × variant — and parallel variants bit-for-bit against serial.
+
+    Round 0 is insert-only and additionally cross-checks the incremental
+    append path against the full-rebuild slow path (the oracle's second
+    reference).  Executors persist across rounds, so a stale cached plan
+    surviving a commit would surface as a divergence — the epoch keying
+    is under test too.
+    """
+    from ..updates import UpdateSession
+    from .updates import UpdateGenerator
+
+    variants = variants or ablation_variants()
+    db = next(iter(physical_dbs.values())).database
+    plan_generator = PlanGenerator(db)
+    update_generator = UpdateGenerator(db)
+    executors: Dict[Tuple[str, str], Executor] = {
+        (scheme, variant): Executor(pdb, disk=disk, costs=costs, options=options)
+        for scheme, pdb in physical_dbs.items()
+        for variant, options in variants.items()
+    }
+    session = UpdateSession(
+        *physical_dbs.values(), policy=policy, disk=disk, costs=costs
+    )
+    report = WorkloadReport(seed=seed, queries=rounds * queries_per_round)
+
+    for round_index in range(rounds):
+        batch = update_generator.generate(seed, round_index)
+        for table, rows in batch.inserts:
+            session.insert_rows(table, rows)
+        for table, predicate in batch.deletes:
+            session.delete_where(table, predicate)
+        result = session.commit()
+        report.commits += 1
+        report.rows_inserted += sum(result.inserted.values())
+        report.rows_deleted += sum(result.deleted.values())
+        report.compactions += sum(1 for c in result.changes if c.compacted)
+        if round_index == 0 and batch.is_insert_only and not result.compacted_tables():
+            _append_second_reference(report, physical_dbs, batch, repro_flags)
+        if report.divergences and fail_fast:
+            return report
+
+        for q in range(queries_per_round):
+            query = plan_generator.generate(seed, round_index * queries_per_round + q)
+            query.description += f" (after {batch.description})"
+            _check_one_query(report, executors, db, query, repro_flags)
+            if report.divergences and fail_fast:
+                return report
+        if progress is not None:
+            progress(round_index + 1, rounds)
     return report

@@ -87,6 +87,30 @@ class TestAppend:
         assert appended.count_table.total_rows() == full.num_rows("fact")
         assert np.all(np.diff(appended.keys.astype(np.int64)) >= 0)
 
+    def test_incremental_path_equals_the_rebuild_slow_path(self):
+        """The default (incremental splice + merged count entries) path
+        and ``rebuild=True`` (full stable sort + re-aggregated count
+        table) must produce identical tables — the differential oracle's
+        second reference."""
+        for consolidate, access_bytes in ((None, 256.0), (0.9, 2048.0)):
+            full, base, n_new = _split_db()
+            uses = _uses(full)
+            config = BDCCBuildConfig(
+                efficient_access_bytes=access_bytes,
+                consolidate_max_fraction=consolidate,
+            )
+            initial = build_bdcc_table(base, "fact", uses, config)
+            rows = {n: v[-n_new:] for n, v in full.table_data("fact").items()}
+            incremental = append_rows(initial, full, rows)
+            rebuilt = append_rows(initial, full, rows, rebuild=True)
+            assert np.array_equal(incremental.keys, rebuilt.keys)
+            assert np.array_equal(incremental.row_source, rebuilt.row_source)
+            for attr in ("keys", "counts", "offsets", "valid"):
+                assert np.array_equal(
+                    getattr(incremental.count_table, attr),
+                    getattr(rebuilt.count_table, attr),
+                ), (consolidate, attr)
+
     def test_row_count_mismatch_rejected(self):
         full, base, n_new = _split_db()
         initial = build_bdcc_table(base, "fact", _uses(full), CONFIG)

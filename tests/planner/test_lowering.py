@@ -371,9 +371,15 @@ class TestPlanCacheKeyedOnEveryOption:
         options = ExecutionOptions()
         runtime_only = ExecutionOptions._RUNTIME_ONLY
         assert runtime_only == {"workers", "min_partition_rows"}
+        # every planning field plus the physical database's update epoch
         assert len(options.cache_key()) == (
-            len(dataclasses.fields(ExecutionOptions)) - len(runtime_only)
+            len(dataclasses.fields(ExecutionOptions)) - len(runtime_only) + 1
         )
+
+    def test_cache_key_carries_the_update_epoch(self):
+        options = ExecutionOptions()
+        assert options.cache_key(epoch=0) != options.cache_key(epoch=1)
+        assert options.cache_key(epoch=3) == options.cache_key(epoch=3)
 
     def test_flipping_each_field_busts_and_restores_the_cache(self, bdcc_db):
         import dataclasses
