@@ -1,11 +1,17 @@
-"""Parallel speedup: makespan vs worker count on the scan-heavy queries.
+"""Parallel speedup: makespan vs worker count, scans and joins.
 
-Runs Q1/Q6 (and the join-bearing Q3) under BDCC across worker counts and
-prints resource-seconds vs makespan per count.  Asserts the scheduling
-invariant the subsystem promises: the makespan is monotonically
-non-increasing in the worker count while the disk has free parallel
-streams, and never regresses materially beyond them (extra workers then
-only pay the bounded per-fragment overhead).
+Runs the scan-heavy Q1/Q6 and the join-bearing Q3 under BDCC across
+worker counts and prints resource-seconds vs makespan per count; for Q3
+it additionally prints the broadcast-only path (co-partitioning
+disabled) next to the default co-partitioned one.  Asserts the
+invariants the subsystem promises:
+
+* the makespan is monotonically non-increasing in the worker count for
+  every reported query — joins included — while the disk has free
+  parallel streams, and never regresses materially beyond them;
+* Q1/Q6 reach >= 2x at 4 workers;
+* Q3's co-partitioned join reaches >= 1.5x at 4 workers and beats the
+  broadcast-only path, whose build side serialises it.
 
 Usable standalone (CI runs ``python benchmarks/bench_parallel_speedup.py
 --smoke``) — no pytest required.
@@ -28,8 +34,26 @@ from repro.tpch.queries import QUERIES  # noqa: E402
 from repro.tpch.runner import QueryRunner  # noqa: E402
 
 WORKER_COUNTS = (1, 2, 4, 8)
-MONOTONE_QUERIES = ("Q01", "Q06")  # scan-heavy: the headline speedups
-EXTRA_QUERIES = ("Q03",)           # join-bearing, broadcast fragments
+SCAN_QUERIES = ("Q01", "Q06")  # scan-heavy: the headline >= 2x speedups
+JOIN_QUERIES = ("Q03",)        # co-partitioned sandwich join vs broadcast
+
+
+def _makespans(pdb, env, qname, copartition=True, counts=WORKER_COUNTS):
+    spans = {}
+    serial_total = None
+    for workers in counts:
+        executor = Executor(
+            pdb, disk=env.disk, costs=env.cost_model,
+            options=ExecutionOptions(
+                workers=workers, enable_copartition=copartition
+            ),
+        )
+        runner = QueryRunner(executor)
+        QUERIES[qname](runner)
+        spans[workers] = runner.metrics.makespan_seconds
+        if workers == 1:
+            serial_total = runner.metrics.total_seconds
+    return spans, serial_total
 
 
 def run(scale_factor: float, seed: int) -> int:
@@ -42,42 +66,62 @@ def run(scale_factor: float, seed: int) -> int:
     lines = [
         f"parallel speedup (BDCC, SF={scale_factor}, "
         f"{streams} disk streams); wall = makespan ms",
-        f"{'query':<6}" + "".join(f"{f'w={w} wall':>12}{f'w={w} x':>9}" for w in WORKER_COUNTS),
+        f"{'query':<14}" + "".join(f"{f'w={w} wall':>12}{f'w={w} x':>9}" for w in WORKER_COUNTS),
     ]
     failures = []
-    for qname in MONOTONE_QUERIES + EXTRA_QUERIES:
-        spans = {}
-        row = f"{qname:<6}"
-        serial_total = None
+
+    def check_monotone(qname, spans):
+        counts = list(WORKER_COUNTS)
+        for prev, cur in zip(counts, counts[1:]):
+            slack = 1.02 if cur <= streams else 1.10
+            if spans[cur] > spans[prev] * slack:
+                failures.append(
+                    f"{qname}: makespan rose {spans[prev] * 1e3:.3f} -> "
+                    f"{spans[cur] * 1e3:.3f} ms going {prev} -> {cur} workers"
+                )
+
+    def report_row(label, spans, serial_total):
+        row = f"{label:<14}"
         for workers in WORKER_COUNTS:
-            executor = Executor(
-                pdb, disk=env.disk, costs=env.cost_model,
-                options=ExecutionOptions(workers=workers),
-            )
-            runner = QueryRunner(executor)
-            QUERIES[qname](runner)
-            spans[workers] = runner.metrics.makespan_seconds
-            if workers == 1:
-                serial_total = runner.metrics.total_seconds
             row += (
                 f"{spans[workers] * 1e3:12.3f}"
                 f"{serial_total / spans[workers]:9.2f}"
             )
         lines.append(row)
-        if qname in MONOTONE_QUERIES:
-            counts = list(WORKER_COUNTS)
-            for prev, cur in zip(counts, counts[1:]):
-                slack = 1.02 if cur <= streams else 1.10
-                if spans[cur] > spans[prev] * slack:
-                    failures.append(
-                        f"{qname}: makespan rose {spans[prev] * 1e3:.3f} -> "
-                        f"{spans[cur] * 1e3:.3f} ms going {prev} -> {cur} workers"
-                    )
-            if spans[4] >= spans[1] / 2:
-                failures.append(
-                    f"{qname}: 4 workers reached only "
-                    f"{spans[1] / spans[4]:.2f}x over 1 worker"
-                )
+
+    for qname in SCAN_QUERIES:
+        spans, serial_total = _makespans(pdb, env, qname)
+        report_row(qname, spans, serial_total)
+        check_monotone(qname, spans)
+        if spans[4] >= spans[1] / 2:
+            failures.append(
+                f"{qname}: 4 workers reached only "
+                f"{spans[1] / spans[4]:.2f}x over 1 worker"
+            )
+
+    for qname in JOIN_QUERIES:
+        spans, serial_total = _makespans(pdb, env, qname)
+        # a serial plan cannot co-partition, so reuse the w=1 run above
+        broadcast, _ = _makespans(
+            pdb, env, qname, copartition=False,
+            counts=[w for w in WORKER_COUNTS if w > 1],
+        )
+        broadcast[1] = spans[1]
+        report_row(qname, spans, serial_total)
+        report_row(f"{qname} (bcast)", broadcast, serial_total)
+        check_monotone(qname, spans)
+        copart_x = serial_total / spans[4]
+        broadcast_x = serial_total / broadcast[4]
+        if copart_x < 1.5:
+            failures.append(
+                f"{qname}: co-partitioned join reached only {copart_x:.2f}x "
+                "at 4 workers (expected >= 1.5x)"
+            )
+        if copart_x <= broadcast_x:
+            failures.append(
+                f"{qname}: co-partition ({copart_x:.2f}x) did not beat the "
+                f"broadcast-only path ({broadcast_x:.2f}x) at 4 workers"
+            )
 
     report = "\n".join(lines)
     print(report)

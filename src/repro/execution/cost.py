@@ -48,6 +48,9 @@ class CostModel:
     # per row moved through an exchange (gather/broadcast between plan
     # fragments of a parallel execution)
     exchange_row: float = 0.5e-9
+    # per received row of a rebinning Repartition (extract the shared
+    # dimension bits from the hidden group columns and route the row)
+    rebin_row: float = 1.0e-9
 
     # cache capacities of the evaluation machine
     l1_bytes: float = 32 * 1024

@@ -118,7 +118,9 @@ class FragmentActuals:
     concurrent streams than the disk supports were active."""
 
     index: int
-    role: str                 # "partition" | "broadcast" | "final" | "serial"
+    #: "partition" | "broadcast" | "source" | "copartition" | "final"
+    #: | "serial" (see repro.parallel.fragments.Fragment)
+    role: str
     description: str
     worker: int = -1
     depends_on: Tuple[int, ...] = ()

@@ -188,9 +188,29 @@ class ExecutionContext:
 
 @dataclass(eq=False)
 class PhysicalOp:
-    """Base class for physical plan nodes."""
+    """Base class for physical plan nodes.
+
+    Besides execution, every class declares its *result contract* toward
+    row order (consumed by :func:`repro.planner.propagation.compute_order_contracts`
+    and the fragmenting pass):
+
+    * ``ordered_inputs`` names the child attributes whose input must
+      arrive in the exact serial order for this operator to be correct
+      or deterministic (a :class:`MergeJoin`'s two sides, a
+      :class:`StreamAgg`'s input, a :class:`Limit`'s prefix).  A
+      reordering gather may never be introduced below such a child.
+    * ``restores_order`` marks operators that re-establish a
+      deterministic row order of their own (:class:`Sort`): a reordering
+      below them cannot escape past them, except through tie-breaks,
+      which resolve deterministically by the gather's canonical order.
+    """
 
     kind = "Op"
+    #: child attribute names that require serially-ordered input
+    #: (plain class attribute, not a dataclass field).
+    ordered_inputs = ()
+    #: True when the operator re-sorts, containing reorderings below it.
+    restores_order = False
 
     def children(self) -> Tuple["PhysicalOp", ...]:
         return ()
@@ -577,6 +597,7 @@ class MergeJoin(_JoinOp):
     LINEITEM/ORDERS and PART/PARTSUPP cases); state-free."""
 
     kind = "MergeJoin"
+    ordered_inputs = ("left", "right")
 
     def execute(self, ctx: ExecutionContext) -> Relation:
         left = self.left.run(ctx)
@@ -895,6 +916,7 @@ class StreamAgg(_AggOp):
     grouping keys: one live group at a time."""
 
     kind = "StreamAgg"
+    ordered_inputs = ("input",)
 
     def _account(self, ctx, rel, group_index, num_groups, state_row) -> List[StreamUse]:
         ctx.metrics.note(f"streaming aggregation on {self.keys}")
@@ -953,6 +975,7 @@ class Sort(PhysicalOp):
     rationale: str = ""
 
     kind = "Sort"
+    restores_order = True
 
     def children(self) -> Tuple[PhysicalOp, ...]:
         return (self.input,)
@@ -993,6 +1016,7 @@ class Limit(PhysicalOp):
     rationale: str = ""
 
     kind = "Limit"
+    ordered_inputs = ("input",)
 
     def children(self) -> Tuple[PhysicalOp, ...]:
         return (self.input,)

@@ -10,15 +10,23 @@ simulated workers under a deterministic dependency-aware scheduler
 (:mod:`repro.parallel.scheduler`) that reports wall clock as the
 makespan over worker timelines.
 
-Results are bit-identical to serial execution by construction —
-fragments partition streams into contiguous storage ranges gathered in
-order — which the workload oracle checks bit-for-bit across worker
-counts.
+Results follow one of two explicit contracts (docs/execution-model.md):
+plans without a reordering exchange gather contiguous storage ranges in
+order and are **bit-identical** to serial execution, which the workload
+oracle checks bit-for-bit across worker counts; plans with a
+**co-partitioned join** — both sides split along shared BDCC dimension
+bits through rebinning :class:`~repro.parallel.exchange.Repartition`
+leaves, where the lowering's result contracts
+(:func:`~repro.planner.propagation.compute_order_contracts`) admit it —
+gather in a deterministic *canonical* order instead and are
+**order-insensitive**: the same row multiset as serial, compared as
+normalized multisets by the oracle.
 """
 
-from .exchange import Exchange, Repartition, UnionAll, concat_relations
+from .exchange import Exchange, Repartition, UnionAll, concat_relations, rebin_ids
 from .fragments import (
     DEFAULT_MIN_PARTITION_ROWS,
+    MIN_COPARTITION_PARTS,
     Fragment,
     ParallelPlan,
     plan_fragments,
@@ -36,7 +44,9 @@ __all__ = [
     "Repartition",
     "UnionAll",
     "concat_relations",
+    "rebin_ids",
     "DEFAULT_MIN_PARTITION_ROWS",
+    "MIN_COPARTITION_PARTS",
     "Fragment",
     "ParallelPlan",
     "plan_fragments",

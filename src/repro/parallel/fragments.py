@@ -12,57 +12,103 @@ already maintains:
   demanded column, so partition IO stays page-granular.
 
 A split propagates up through *partition-transparent* operators — per-row
-Filter/Project, and joins along their order-carrying (probe) side, whose
-other side becomes a **broadcast fragment** executed once and shipped to
-every partition via :class:`~repro.parallel.exchange.Repartition`.
-Pipeline breakers (aggregation, sort, limit) stop the split: partitions
-are gathered below them by an order-preserving
-:class:`~repro.parallel.exchange.UnionAll` over
-:class:`~repro.parallel.exchange.Exchange` leaves, and the remainder of
-the plan runs as the **final** serial fragment.  Subtrees with no
-splittable scan (or too few rows to be worth a fragment) simply stay
-serial — fragmenting never fails, it degrades to the serial plan.
+Filter/Project, and joins along their order-carrying (probe) side.
+Joins themselves split one of two ways:
 
-Because partitions are contiguous ascending storage ranges and every
-operator in a partition fragment is per-row (or probe-side
-order-preserving), the gathered stream is *bit-identical* to the serial
-stream — the basis for the workload oracle checking parallel plans
-bit-for-bit against serial execution.
+* **broadcast** (any scheme): the probe side is partitioned and the
+  other side becomes a broadcast fragment executed once and shipped to
+  every partition via :class:`~repro.parallel.exchange.Repartition`;
+* **co-partitioned** (sandwich joins, when the plan's result contracts
+  admit it): *both* sides are split along the shared BDCC dimension
+  bits the join is sandwiched on.  Each side's subtree runs as producer
+  fragments (re-using the ordinary zone-aligned split where possible),
+  and every join partition reads them through a rebinning
+  :class:`~repro.parallel.exchange.Repartition` that keeps only the
+  rows of its bin range — equal join keys imply equal bins, so matches
+  are always co-located and the build side is never duplicated.
+
+Pipeline breakers (aggregation, sort, limit) stop the split: partitions
+are gathered below them by a :class:`~repro.parallel.exchange.UnionAll`
+over :class:`~repro.parallel.exchange.Exchange` leaves, and the
+remainder of the plan runs as the **final** serial fragment.  Subtrees
+with no splittable scan (or too few rows to be worth a fragment) simply
+stay serial — fragmenting never fails, it degrades to the serial plan.
+
+Two result contracts govern the gathers (docs/execution-model.md):
+
+* ordinary splits keep partitions as contiguous ascending storage
+  ranges, so the ordered gather is *bit-identical* to the serial stream
+  — the basis for the workload oracle checking such parallel plans
+  bit-for-bit against serial execution;
+* a co-partitioned join's partitions are bin-major, so its gather is
+  ``preserve_order=False, canonical=True``: a deterministic canonical
+  order (fragment-key concatenation) with the same row multiset as the
+  serial plan but not its row order.  The fragmenter only chooses this
+  split where the lowering's
+  :class:`~repro.planner.propagation.ResultContract` says no ancestor
+  requires serial order, and the workload oracle compares such plans
+  order-insensitively.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..execution.operators import (
     DeltaMergeScan,
+    HashAgg,
     HashJoin,
+    Limit,
     MergeJoin,
     PhysicalFilter,
     PhysicalOp,
     PhysicalProject,
     PhysicalScan,
+    SandwichAgg,
+    SandwichJoin,
+    Sort,
+    StreamAgg,
     walk_physical,
 )
 from .exchange import Exchange, Repartition, UnionAll
 
-__all__ = ["Fragment", "ParallelPlan", "plan_fragments", "DEFAULT_MIN_PARTITION_ROWS"]
+__all__ = [
+    "Fragment",
+    "ParallelPlan",
+    "plan_fragments",
+    "DEFAULT_MIN_PARTITION_ROWS",
+    "MIN_COPARTITION_PARTS",
+]
 
 #: below this many selected rows a scan is not worth its own fragment.
 DEFAULT_MIN_PARTITION_ROWS = 2048
 
+#: a co-partitioned join needs at least this many bin ranges to beat the
+#: broadcast split: the shuffle touches every row of *both* sides, while
+#: a 2- or 3-way broadcast split reaches similar concurrency on the
+#: probe side alone, without the shuffle and without giving up the
+#: bit-identical contract.  Below this the fragmenter falls back to
+#: broadcasting the build side.
+MIN_COPARTITION_PARTS = 4
+
 
 @dataclass
 class Fragment:
-    """One independently executable subplan of a parallel plan."""
+    """One independently executable subplan of a parallel plan.
+
+    ``role`` is one of ``partition`` (one contiguous slice of a split
+    stream), ``broadcast`` (a join build side shipped whole), ``source``
+    (a producer feeding rebinning Repartition consumers), ``copartition``
+    (one bin range of a co-partitioned join), and ``final`` / ``serial``
+    for the tail."""
 
     index: int
     root: PhysicalOp
-    role: str            # "partition" | "broadcast" | "final" | "serial"
+    role: str
     note: str = ""       # human description (partition ranges, alignment)
     depends_on: Tuple[int, ...] = ()
 
@@ -90,27 +136,62 @@ class ParallelPlan:
     def is_parallel(self) -> bool:
         return len(self.fragments) > 1
 
+    @property
+    def reorders(self) -> bool:
+        """True when this plan contains a reordering exchange (a
+        co-partitioned join's canonical gather): its result is the same
+        multiset as the serial plan's but in canonical — not serial —
+        row order, so comparisons against serial must be
+        order-insensitive."""
+        for op in self.operators():
+            if isinstance(op, UnionAll) and not op.preserve_order:
+                return True
+            if isinstance(op, Repartition) and op.mode == "rebin":
+                return True
+        return False
+
     def operators(self):
         for fragment in self.fragments:
             yield from walk_physical(fragment.root)
 
 
 def _fragment_deps(root: PhysicalOp) -> Tuple[int, ...]:
-    return tuple(
-        sorted(
-            {
-                op.source_fragment
-                for op in walk_physical(root)
-                if isinstance(op, (Exchange, Repartition))
-            }
-        )
-    )
+    sources = set()
+    for op in walk_physical(root):
+        if isinstance(op, Exchange):
+            sources.add(op.source_fragment)
+        elif isinstance(op, Repartition):
+            if op.mode == "rebin":
+                sources.update(op.source_fragments)
+            else:
+                sources.add(op.source_fragment)
+    return tuple(sorted(sources))
+
+
+@dataclass
+class _Split:
+    """Outcome of one successful split: the per-partition operator
+    clones, a human note, whether gathering them in order reproduces the
+    serial stream (``ordered``), and the fragment role they take."""
+
+    parts: List[PhysicalOp]
+    note: str
+    ordered: bool = True
+    role: str = "partition"
 
 
 class _FragmentPlanner:
-    def __init__(self, workers: int, min_partition_rows: int):
+    def __init__(
+        self,
+        workers: int,
+        min_partition_rows: int,
+        contracts: Optional[Dict[int, object]] = None,
+        enable_copartition: bool = True,
+    ):
         self.workers = max(int(workers), 1)
         self.min_partition_rows = max(int(min_partition_rows), 1)
+        self.contracts = contracts or {}
+        self.enable_copartition = enable_copartition
         self.fragments: List[Fragment] = []
         self.notes: List[str] = []
 
@@ -129,9 +210,12 @@ class _FragmentPlanner:
         replaced by gathers over newly registered partition fragments."""
         split = self._split(op)
         if split is not None:
-            parts, note = split
+            parts, note = split.parts, split.note
             sources = [
-                self._add(part, "partition", f"partition {i + 1}/{len(parts)}: {note}")
+                self._add(
+                    part, split.role,
+                    f"{split.role} {i + 1}/{len(parts)}: {note}",
+                )
                 for i, part in enumerate(parts)
             ]
             exchanges = tuple(
@@ -139,10 +223,18 @@ class _FragmentPlanner:
                 for i, s in enumerate(sources)
             )
             self.notes.append(note)
+            if split.ordered:
+                rationale = f"gather {len(parts)} partitions ({note})"
+            else:
+                rationale = (
+                    f"canonical gather of {len(parts)} co-partitions ({note}); "
+                    "order-insensitive result contract"
+                )
             return UnionAll(
                 inputs=exchanges,
-                preserve_order=True,
-                rationale=f"gather {len(parts)} partitions ({note})",
+                preserve_order=split.ordered,
+                canonical=not split.ordered,
+                rationale=rationale,
             )
         # not splittable as a whole: recurse into the children
         if isinstance(op, (MergeJoin, HashJoin)):
@@ -158,7 +250,7 @@ class _FragmentPlanner:
         return op
 
     # ----------------------------------------------------------- splitting
-    def _split(self, op: PhysicalOp) -> Optional[Tuple[List[PhysicalOp], str]]:
+    def _split(self, op: PhysicalOp) -> Optional[_Split]:
         """Try to turn ``op`` into per-partition clones; None when the
         subtree must stay serial."""
         if isinstance(op, DeltaMergeScan):
@@ -172,8 +264,10 @@ class _FragmentPlanner:
             sub = self._split(op.input)
             if sub is None:
                 return None
-            parts, note = sub
-            return [dataclasses.replace(op, input=p) for p in parts], note
+            return dataclasses.replace(
+                sub,
+                parts=[dataclasses.replace(op, input=p) for p in sub.parts],
+            )
         if isinstance(op, (MergeJoin, HashJoin)):  # SandwichJoin included
             return self._split_join(op)
         return None
@@ -188,12 +282,15 @@ class _FragmentPlanner:
             return "left"  # left/semi/anti assemble the left side
         return "right" if op.build_side == "left" else "left"
 
-    def _split_join(self, op) -> Optional[Tuple[List[PhysicalOp], str]]:
+    def _split_join(self, op) -> Optional[_Split]:
+        if self.enable_copartition and isinstance(op, SandwichJoin):
+            split = self._split_join_copartition(op)
+            if split is not None:
+                return split
         side = self._partition_side(op)
         sub = self._split(getattr(op, side))
         if sub is None:
             return None
-        parts, note = sub
         other = "right" if side == "left" else "left"
         broadcast = self._add(
             getattr(op, other), "broadcast",
@@ -203,14 +300,124 @@ class _FragmentPlanner:
             dataclasses.replace(
                 op, **{side: part, other: Repartition(source_fragment=broadcast)}
             )
-            for part in parts
+            for part in sub.parts
         ]
-        return clones, note
+        return dataclasses.replace(sub, parts=clones)
+
+    # ------------------------------------------------- co-partitioned join
+    def _reorder_admissible(self, op: PhysicalOp) -> bool:
+        contract = self.contracts.get(id(op))
+        return bool(contract is not None and contract.reorder_admissible)
+
+    @staticmethod
+    def _live_rows(root: PhysicalOp) -> int:
+        """Rows-flowing estimate of a join side: live selected rows over
+        its scan leaves (base selection plus delta-run selections),
+        *stopping at blocking operators* — an aggregation, sort or limit
+        emits its (typically small) result, not the rows its scans read,
+        so the scans below it must not count toward the side's weight."""
+        total = 0
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (HashAgg, SandwichAgg, StreamAgg, Sort, Limit)):
+                continue
+            if isinstance(node, PhysicalScan):
+                rows = node.selected_rows
+                total += node.stored.stored_rows if rows is None else len(rows)
+                if isinstance(node, DeltaMergeScan):
+                    total += sum(len(sel) for _, sel in node.delta_selected)
+            stack.extend(node.children())
+        return total
+
+    def _rebin_sources(self, side: PhysicalOp) -> Tuple[int, ...]:
+        """Register one join side's producer fragments: its ordinary
+        split when one applies (zone-/page-aligned scan partitions, or a
+        nested join's partitions), else the whole serial subtree as a
+        single source fragment."""
+        sub = self._split(side)
+        if sub is None:
+            return (self._add(side, "source", "repartition source: serial subtree"),)
+        self.notes.append(sub.note)
+        return tuple(
+            self._add(
+                part, "source",
+                f"repartition source {i + 1}/{len(sub.parts)}: {sub.note}",
+            )
+            for i, part in enumerate(sub.parts)
+        )
+
+    def _split_join_copartition(self, op: SandwichJoin) -> Optional[_Split]:
+        """Split *both* join sides along the shared BDCC dimension bits
+        the join is sandwiched on.
+
+        Applicability: the join carries granted sandwich pairs (equal
+        join keys imply equal dimension bins on both sides — the same
+        precondition sandwiched execution rests on, here load-bearing
+        for correctness: matches must co-locate), the plan's result
+        contracts admit a reordering at this node, and both sides
+        together carry enough live rows to be worth the shuffle.  Each
+        side becomes producer fragments (re-using the ordinary split
+        where possible) consumed by per-partition rebinning
+        :class:`~repro.parallel.exchange.Repartition` leaves."""
+        if not self._reorder_admissible(op):
+            return None
+        pairs = [(l, r, g) for l, r, g in op.pairs if g > 0]
+        total_bits = sum(g for _, _, g in pairs)
+        if not pairs or total_bits <= 0:
+            return None
+        left_live = self._live_rows(op.left)
+        right_live = self._live_rows(op.right)
+        if min(left_live, right_live) < 2 * self.min_partition_rows:
+            # a small side is cheaper to broadcast than to shuffle: the
+            # rebin touches every row of *both* sides, and a side too
+            # small for its own producers to split would serialise the
+            # whole shuffle behind one fragment anyway
+            return None
+        live = left_live + right_live
+        num_parts = min(
+            self.workers, 1 << total_bits, live // self.min_partition_rows
+        )
+        if num_parts < MIN_COPARTITION_PARTS:
+            return None
+        # cost-based strategy choice vs the broadcast split: broadcasting
+        # repeats the whole build (hash construction, memory) in every
+        # partition, the shuffle touches every row of both sides once —
+        # co-partition only when the duplicated build work outweighs it.
+        # Q3's order-side build is half the join and wins at 4 workers;
+        # Q18's build is small next to its LINEITEM probe, so the rebin
+        # pays off only at higher worker counts.
+        build_live = left_live if op.build_side == "left" else right_live
+        if build_live * (num_parts - 1) <= live:
+            return None
+        left_sources = self._rebin_sources(op.left)
+        right_sources = self._rebin_sources(op.right)
+        left_on = tuple((l.column, l.bits, g) for l, _, g in pairs)
+        right_on = tuple((r.column, r.bits, g) for _, r, g in pairs)
+        dims = "+".join(l.dimension.name for l, _, _ in pairs)
+        clones: List[PhysicalOp] = []
+        for p in range(num_parts):
+            leaves = {
+                "left": Repartition(
+                    source_fragments=left_sources, mode="rebin", on=left_on,
+                    partition=p, partitions=num_parts, total_bits=total_bits,
+                    rationale=f"left side rows of bin range {p + 1}/{num_parts}",
+                ),
+                "right": Repartition(
+                    source_fragments=right_sources, mode="rebin", on=right_on,
+                    partition=p, partitions=num_parts, total_bits=total_bits,
+                    rationale=f"right side rows of bin range {p + 1}/{num_parts}",
+                ),
+            }
+            clones.append(dataclasses.replace(op, **leaves))
+        note = (
+            f"co-partitioned {op.kind} on {dims} @{total_bits} bits: "
+            f"{num_parts} bin ranges over {live} live rows (both sides split)"
+        )
+        return _Split(clones, note, ordered=False, role="copartition")
 
     # --------------------------------------------------- delta scan splits
-    def _split_delta_scan(
-        self, op: DeltaMergeScan
-    ) -> Optional[Tuple[List[PhysicalOp], str]]:
+    def _split_delta_scan(self, op: DeltaMergeScan) -> Optional[_Split]:
         """Partition a merge-on-read scan along BDCC zone boundaries of
         the merged stream.
 
@@ -290,10 +497,10 @@ class _FragmentPlanner:
             f"scan {op.alias}: {len(parts)} zone-aligned base+delta "
             f"partitions over {total} live rows"
         )
-        return parts, note
+        return _Split(parts, note)
 
     # --------------------------------------------------------- scan splits
-    def _split_scan(self, op: PhysicalScan) -> Optional[Tuple[List[PhysicalOp], str]]:
+    def _split_scan(self, op: PhysicalScan) -> Optional[_Split]:
         stored = op.stored
         rows = op.selected_rows
         total = stored.stored_rows if rows is None else len(rows)
@@ -331,7 +538,7 @@ class _FragmentPlanner:
             f"scan {op.alias}: {len(parts)} {alignment}-aligned partitions "
             f"over {total} rows"
         )
-        return parts, note
+        return _Split(parts, note)
 
     @staticmethod
     def _zone_boundaries(stored, positions: np.ndarray) -> np.ndarray:
@@ -375,14 +582,37 @@ def plan_fragments(
     pplan,
     workers: int,
     min_partition_rows: int = DEFAULT_MIN_PARTITION_ROWS,
+    enable_copartition: bool = True,
 ) -> ParallelPlan:
     """Cut a lowered physical plan into partition-parallel fragments.
 
     Pure and deterministic, like lowering itself: the same
-    (plan, workers, min_partition_rows) always yields the same fragment
-    structure, and the serial plan's operators are reused wherever no
-    split applies (fragments never re-lower)."""
-    planner = _FragmentPlanner(workers, min_partition_rows)
+    ``(plan, workers, min_partition_rows, enable_copartition)`` always
+    yields the same fragment structure, and the serial plan's operators
+    are reused wherever no split applies (fragments never re-lower).
+
+    Args:
+        pplan: the lowered :class:`~repro.planner.lowering.PhysicalPlan`.
+            Its ``contracts`` (result-contract map from lowering) gate
+            co-partitioned join splits; when absent they are recomputed
+            from the operator tree.
+        workers: simulated worker count (clamped to >= 1); also the
+            maximum number of partitions any single split produces.
+        min_partition_rows: scans (and co-partitioned joins, counting
+            both sides) below this many live rows stay serial.
+        enable_copartition: allow the reordering co-partitioned join
+            split; with False every parallelised join broadcasts its
+            build side and the plan keeps the bit-identical contract.
+    """
+    contracts = getattr(pplan, "contracts", None)
+    if contracts is None and enable_copartition:
+        from ..planner.propagation import compute_order_contracts
+
+        contracts = compute_order_contracts(pplan.root)
+    planner = _FragmentPlanner(
+        workers, min_partition_rows,
+        contracts=contracts, enable_copartition=enable_copartition,
+    )
     root = planner.visit(pplan.root)
     role = "final" if planner.fragments else "serial"
     note = "serial tail above the gathers" if planner.fragments else "no splittable scan"

@@ -22,6 +22,17 @@ philosophy (results are exact, time is modelled):
    peak of *concurrently live* footprints: overlapping fragments'
    reservation peaks plus exchanged result buffers held from a
    producer's finish until its last consumer finishes.
+
+Shuffle accounting (co-partitioned joins): a producer feeding rebinning
+:class:`~repro.parallel.exchange.Repartition` consumers has its whole
+output buffered like any exchange — the buffer lives from the producer's
+finish until the *last* bin-range consumer is done, so the concurrent
+peak sees the full shuffled volume — and every consumer charges the
+modelled transfer inside its own fragment: per-received-row re-binning
+CPU plus :class:`~repro.storage.io_model.DiskModel` IO for the bucket it
+keeps (one access per producer).  Those charges land in the consumer's
+IO/CPU phases, so the shuffle competes for disk streams and shows up in
+the makespan exactly like scan IO does.
 """
 
 from __future__ import annotations
@@ -190,7 +201,17 @@ def run_parallel(
     costs: CostModel,
 ) -> Tuple[Relation, ExecutionMetrics]:
     """Execute a fragmented plan on the simulated worker pool and return
-    the final fragment's relation plus the merged metrics."""
+    the final fragment's relation plus the merged metrics.
+
+    Deterministic end to end: fragments run once in topological order
+    (results are exact and never recomputed), the schedule is the pure
+    list dispatch of :func:`simulate_schedule`, and the merged metrics
+    satisfy the invariants the tests pin — per-fragment exclusive
+    IO/CPU sums equal the query totals, ``makespan_seconds`` lies
+    between ``total_seconds / workers`` and ``total_seconds``, and peak
+    memory is the concurrent peak over fragment reservations plus every
+    exchanged (broadcast, partition gather, or rebin shuffle) producer
+    buffer held until its last consumer finishes."""
     results: Dict[int, Relation] = {}
     fragment_metrics: Dict[int, ExecutionMetrics] = {}
     for fragment in plan.fragments:  # topological by construction

@@ -74,12 +74,13 @@ class Executor:
         self._plan_cache: "OrderedDict[Tuple[int, tuple], Tuple[object, PhysicalPlan]]" = (
             OrderedDict()
         )
-        #: (id(physical root), workers, min_partition_rows, epoch) ->
-        #: (PhysicalPlan, ParallelPlan); fragmenting reuses the cached
-        #: lowering, so changing the worker count never re-lowers a plan.
-        #: Like the plan cache, keys carry the update epoch so fragment
-        #: plans over a stale delta state never run.
-        self._fragment_cache: "OrderedDict[Tuple[int, int, int, int], Tuple[PhysicalPlan, ParallelPlan]]" = (
+        #: (id(physical root), workers, min_partition_rows, copartition,
+        #: epoch) -> (PhysicalPlan, ParallelPlan); fragmenting reuses the
+        #: cached lowering, so changing the worker count (or the
+        #: co-partition switch) never re-lowers a plan.  Like the plan
+        #: cache, keys carry the update epoch so fragment plans over a
+        #: stale delta state never run.
+        self._fragment_cache: "OrderedDict[tuple, Tuple[PhysicalPlan, ParallelPlan]]" = (
             OrderedDict()
         )
 
@@ -109,14 +110,16 @@ class Executor:
         workers = max(int(self.options.workers), 1)
         key = (
             id(pplan.root), workers, int(self.options.min_partition_rows),
-            self.pdb.epoch,
+            bool(self.options.enable_copartition), self.pdb.epoch,
         )
         hit = self._fragment_cache.get(key)
         if hit is not None:
             self._fragment_cache.move_to_end(key)
             return hit[1]
         parallel = plan_fragments(
-            pplan, workers, min_partition_rows=self.options.min_partition_rows
+            pplan, workers,
+            min_partition_rows=self.options.min_partition_rows,
+            enable_copartition=self.options.enable_copartition,
         )
         self._fragment_cache[key] = (pplan, parallel)
         while len(self._fragment_cache) > _PLAN_CACHE_SIZE:

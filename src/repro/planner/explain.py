@@ -13,10 +13,14 @@ memory — plus the executor's runtime notes (actual group counts, build
 sizes) and the query totals, like SQL's ``EXPLAIN ANALYZE``.
 
 When the executor's options ask for ``workers > 1`` the rendering
-switches to the *fragment* view: every plan fragment with its partition
-range and dependencies, and under ``analyze`` the scheduler's verdict
-per fragment — assigned worker, makespan contribution and queue wait —
-plus the makespan/speedup totals.
+switches to the *fragment* view: every plan fragment with its role
+(``partition`` / ``broadcast`` / ``source`` / ``copartition`` /
+``final``), partition note and dependencies, and under ``analyze`` the
+scheduler's verdict per fragment — assigned worker, makespan
+contribution and queue wait — plus the makespan/speedup totals.  A
+co-partitioned join renders its rebinning ``Repartition`` leaves and a
+``UnionAll [... canonical order]`` gather, making the order-insensitive
+result contract visible in the plan text.
 """
 
 from __future__ import annotations

@@ -29,6 +29,14 @@ charges no metrics, and lowering the same plan twice against the same
 update epoch yields equal physical plans — the basis for EXPLAIN without
 execution and for plan caching (cache keys carry the epoch, so a commit
 can never serve a stale plan).
+
+Besides strategies, lowering attaches the plan's *result contracts*
+(:func:`repro.planner.propagation.compute_order_contracts`): a
+per-operator admissibility map saying where a reordering exchange — the
+co-partitioned join split of the fragmenting pass — may be introduced
+without breaking an order-requiring ancestor.  See
+``docs/execution-model.md`` for the bit-identical vs order-insensitive
+contract semantics.
 """
 
 from __future__ import annotations
@@ -81,7 +89,7 @@ from .logical import (
     SortNode,
 )
 from .predicates import column_ranges, conjuncts
-from .propagation import compute_restrictions
+from .propagation import ResultContract, compute_order_contracts, compute_restrictions
 
 __all__ = ["ExecutionOptions", "PhysicalPlan", "lower"]
 
@@ -104,12 +112,17 @@ class ExecutionOptions:
     max_sandwich_bits: int = 8        # cap on combined sandwich group bits
     workers: int = 1                  # simulated workers (1 = serial)
     min_partition_rows: int = 2048    # smallest scan partition worth a fragment
+    #: split *both* sides of sandwich joins along shared dimension bits
+    #: (reordering Repartition) instead of broadcasting the build side;
+    #: such plans trade the bit-identical result contract for the
+    #: order-insensitive one (see docs/execution-model.md)
+    enable_copartition: bool = True
 
     #: fields that do not affect the lowered (serial) plan — they select
     #: the *fragment* plan derived from it, cached separately by the
     #: executor.  Excluded from ``cache_key`` so switching the worker
     #: count reuses the cached lowering and never re-lowers.
-    _RUNTIME_ONLY = frozenset({"workers", "min_partition_rows"})
+    _RUNTIME_ONLY = frozenset({"workers", "min_partition_rows", "enable_copartition"})
 
     def cache_key(self, epoch: int = 0) -> tuple:
         # every planning field participates, so a future switch can never
@@ -129,10 +142,18 @@ class ExecutionOptions:
 @dataclass
 class PhysicalPlan:
     """A fully lowered query: the operator tree plus the context it was
-    planned for."""
+    planned for.
+
+    ``contracts`` maps operator identity to its
+    :class:`~repro.planner.propagation.ResultContract` — whether a
+    reordering exchange may be introduced at/below each node.  Computed
+    once at lowering (pure, like everything else here) and consulted by
+    the fragmenting pass when it considers a co-partitioned join split.
+    """
 
     root: PhysicalOp
     scheme_name: str
+    contracts: Optional[Dict[int, "ResultContract"]] = None
 
     def operators(self):
         return walk_physical(self.root)
@@ -261,7 +282,11 @@ class _Lowering:
                 )
                 self._choose_replicas(bdcc_tables, alias_tables)
         stream = self._lower(node)
-        return PhysicalPlan(stream.op, self.pdb.scheme_name)
+        return PhysicalPlan(
+            stream.op,
+            self.pdb.scheme_name,
+            contracts=compute_order_contracts(stream.op),
+        )
 
     def _choose_replicas(self, bdcc_tables, alias_tables) -> None:
         """Per scan, pick the physical copy whose count-table groups the

@@ -1,30 +1,48 @@
-"""Selection propagation between co-clustered tables.
+"""Property propagation through plans: selections and result contracts.
 
-The heart of BDCC query processing (benefit (ii) of Section II): a
-selection on a dimension — or on a table joined to it, like a region
-filter above NATION — restricts the qualifying *bins* of that dimension,
-and every co-clustered table in the query can skip the non-qualifying
-groups of its count table.
+Two pure analyses live here:
 
-For each BDCC scan and each of its dimension uses we check that the
-use's foreign-key path is actually realised by the query's joins (with
-join kinds that filter the scanned side — see
-:meth:`FKEdge.filters_child`), evaluate the predicates sitting on the
-dimension's host table (recursively restricted through the host's own
-filtering parents, which is how ``r_name = 'ASIA'`` reaches D_NATION),
-and translate the surviving key values into a bin restriction.
+* **Selection propagation** between co-clustered tables — the heart of
+  BDCC query processing (benefit (ii) of Section II): a selection on a
+  dimension — or on a table joined to it, like a region filter above
+  NATION — restricts the qualifying *bins* of that dimension, and every
+  co-clustered table in the query can skip the non-qualifying groups of
+  its count table.  For each BDCC scan and each of its dimension uses we
+  check that the use's foreign-key path is actually realised by the
+  query's joins (with join kinds that filter the scanned side — see
+  :meth:`FKEdge.filters_child`), evaluate the predicates sitting on the
+  dimension's host table (recursively restricted through the host's own
+  filtering parents, which is how ``r_name = 'ASIA'`` reaches D_NATION),
+  and translate the surviving key values into a bin restriction.
+
+* **Result-contract propagation** over an already-lowered physical
+  plan (:func:`compute_order_contracts`): for every operator, whether a
+  *reordering* exchange (the co-partitioned join gather, whose stream is
+  a deterministic multiset but not the serial row order) may be
+  introduced at or below it without breaking anything above.  Operators
+  declare their needs on the class (``PhysicalOp.ordered_inputs``,
+  ``Sort.restores_order``); this walk turns those local declarations
+  into the per-node admissibility the fragmenting pass consults before
+  trading the bit-identical contract for the order-insensitive one.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..execution.operators import HashJoin, PhysicalOp
 from ..storage.database import Database
 from .analysis import PlanAnalysis, strip_prefix
 
-__all__ = ["ScanRestrictions", "compute_restrictions"]
+__all__ = [
+    "ScanRestrictions",
+    "compute_restrictions",
+    "ResultContract",
+    "compute_order_contracts",
+]
 
 #: per alias: list of (use_index, allowed_bins, bin_bits)
 ScanRestrictions = Dict[str, List[Tuple[int, np.ndarray, int]]]
@@ -146,3 +164,87 @@ def _walk_path(analysis: PlanAnalysis, alias: str, path: Tuple[str, ...]) -> Opt
             return None
         current = edge.parent_alias
     return current
+
+
+# ------------------------------------------------------ result contracts
+@dataclass(frozen=True)
+class ResultContract:
+    """The order contract at one physical-plan node.
+
+    ``reorder_admissible`` answers: may an exchange that *reorders* rows
+    (a co-partitioned join's canonical gather) be introduced at or below
+    this node?  True means every operator between this node and the plan
+    root either carries row order transparently (filters, projections,
+    hash-family joins and aggregations — a reorder below them changes
+    their output order but never their output multiset) or re-sorts
+    (:class:`~repro.execution.operators.Sort`, whose tie-breaks then
+    resolve by the gather's deterministic canonical order instead of the
+    serial order).  False means some ancestor *requires* serially
+    ordered input — a merge join, a streaming aggregation, or a LIMIT
+    prefix not re-established by a sort in between — and the subtree
+    must keep the bit-identical contract.
+    """
+
+    reorder_admissible: bool = True
+
+
+def _order_free_children(op: PhysicalOp) -> Tuple[str, ...]:
+    """Child attributes whose row order cannot influence the operator's
+    output at all: the probed-for-membership side of a semi/anti hash
+    join (only key membership matters, never match order)."""
+    if isinstance(op, HashJoin) and op.how in ("semi", "anti"):
+        return ("right",)
+    return ()
+
+
+def _named_children(op: PhysicalOp):
+    for name in ("input", "left", "right"):
+        child = getattr(op, name, None)
+        if isinstance(child, PhysicalOp):
+            yield name, child
+
+
+def compute_order_contracts(root: PhysicalOp) -> Dict[int, ResultContract]:
+    """Propagate order requirements top-down over a lowered plan.
+
+    Pure and deterministic, like lowering itself.  Returns a map from
+    operator identity (``id(op)``) to its :class:`ResultContract`; the
+    fragmenting pass consults it before replacing a join's bit-identical
+    broadcast split with a reordering co-partitioned split.  The plan
+    root is admissible: a query's *top-level* contract under reordering
+    exchanges is the canonical (fragment-key) order — deterministic
+    across runs, compared order-insensitively by the workload oracle.
+
+    One deliberate trade rides on ``Sort.restores_order``: a stable
+    sort's ties resolve by input order, so below a LIMIT whose sort
+    keys do not totally order the data, a reorder can change which of
+    two *equal-ranking* rows the prefix keeps (similarly, re-aggregated
+    float sort keys can re-rank rows within an ulp).  Row selection
+    then still is deterministic — canonical order instead of serial
+    order — but no longer guaranteed the serial multiset.  The
+    workload generator only emits LIMIT above total-order sorts, so
+    the differential sweep is immune by construction; TPC-H Q3/Q18
+    would need two rows tying on all sort keys exactly at the limit
+    boundary, and the oracle/tests flag it loudly if a dataset ever
+    produces one.
+    """
+    contracts: Dict[int, ResultContract] = {}
+
+    def walk(op: PhysicalOp, admissible: bool) -> None:
+        contracts[id(op)] = ResultContract(reorder_admissible=admissible)
+        order_free = _order_free_children(op)
+        for name, child in _named_children(op):
+            if op.restores_order or name in order_free:
+                child_ok = True
+            elif name in op.ordered_inputs:
+                child_ok = False
+            else:
+                child_ok = admissible
+            walk(child, child_ok)
+        # gather-style operators (tuple children) are transparent
+        for child in op.children():
+            if id(child) not in contracts:
+                walk(child, admissible)
+
+    walk(root, True)
+    return contracts

@@ -51,6 +51,14 @@ class CompactionPolicy:
     min_delta_rows: int = 256
 
     def should_compact(self, stored: StoredTable) -> bool:
+        """Whether ``stored``'s pending delta volume has crossed the
+        policy threshold.
+
+        Pure and deterministic: depends only on the table's delta-store
+        counters (live delta rows, deleted base rows, live base rows),
+        so every physical copy of a table decides independently and the
+        same commit history always compacts at the same points —
+        which is what lets differential sweeps replay identically."""
         if self.max_delta_fraction is None:
             return False
         delta = stored.delta

@@ -129,13 +129,39 @@ class UpdateSession:
 
     # ------------------------------------------------------------ buffering
     def insert_rows(self, table: str, rows: Dict[str, np.ndarray]) -> None:
-        """Queue complete rows for ``table`` (all columns required)."""
+        """Queue complete rows for ``table``.
+
+        Args:
+            table: a table of the session's schema (checked eagerly;
+                unknown names raise here, not at commit).
+            rows: column name -> array of equal lengths covering *every*
+                column of the table (validated at :meth:`commit`, which
+                fails atomically before anything is applied).  Arrays
+                are converted with ``np.asarray`` but not copied.
+
+        Callers keep primary keys unique and foreign keys resolvable;
+        referenced parents may ride in the *same* commit (inserts apply
+        parents-first).  Buffering order is preserved for batches of
+        the same table, so commits are deterministic given the call
+        sequence."""
         self.db.schema.table(table)  # fail fast on unknown tables
         self._inserts.append((table, {k: np.asarray(v) for k, v in rows.items()}))
 
     def delete_where(self, table: str, predicate: Expr) -> None:
         """Queue deletion of every row of ``table`` matching
-        ``predicate`` (expressed over the table's own column names)."""
+        ``predicate``.
+
+        Args:
+            table: a table of the session's schema (checked eagerly).
+            predicate: an :class:`~repro.execution.expressions.Expr`
+                over the table's *own* (unprefixed) column names; names
+                outside the table fail :meth:`commit` validation.
+
+        Deletes run after this commit's inserts — they see rows
+        inserted in the same commit — and in declaration order, which
+        is how the TPC-H RF2 pattern deletes children before (or with)
+        their parents.  A predicate matching nothing leaves epochs and
+        plan caches untouched."""
         self.db.schema.table(table)
         self._deletes.append((table, predicate))
 

@@ -53,7 +53,8 @@ def worker_count_variants(counts: Sequence[int]) -> Dict[str, ExecutionOptions]:
     """One ``workers-N`` variant per requested count (1 is the serial
     default and named so the report can point at the diverging count).
     Small scans still split under the sweep: the partition floor drops
-    so tiny differential databases exercise the parallel machinery."""
+    so tiny differential databases exercise the parallel machinery —
+    including co-partitioned sandwich joins, which are on by default."""
     return {
         f"workers-{n}": ExecutionOptions(workers=n, min_partition_rows=256)
         for n in counts
@@ -63,7 +64,9 @@ def worker_count_variants(counts: Sequence[int]) -> Dict[str, ExecutionOptions]:
 def ablation_variants(full: bool = True) -> Dict[str, ExecutionOptions]:
     """The option grid a differential run sweeps: the default plan,
     each feature switched off on its own, a narrow sandwich-bit budget,
-    the everything-off baseline, and the worker-count sweep."""
+    the everything-off baseline, the worker-count sweep, and the
+    broadcast-only parallel variant (co-partitioning disabled, so every
+    parallel plan keeps the bit-identical contract)."""
     variants = {"default": ExecutionOptions()}
     if not full:
         return variants
@@ -74,6 +77,9 @@ def ablation_variants(full: bool = True) -> Dict[str, ExecutionOptions]:
         **{switch: False for switch in _SWITCHES}
     )
     variants.update(worker_count_variants([n for n in _WORKER_COUNTS if n > 1]))
+    variants["workers-4-broadcast"] = ExecutionOptions(
+        workers=4, min_partition_rows=256, enable_copartition=False
+    )
     return variants
 
 
@@ -262,8 +268,11 @@ class WorkloadReport:
 def _bitwise_mismatch(serial, got) -> Optional[str]:
     """Exact (order- and bit-sensitive) comparison of a parallel
     execution's relation against the same scheme's serial default run.
-    Fragmented plans gather partitions in storage order, so the parallel
-    stream must reproduce the serial one *exactly* — no tolerance."""
+    Fragmented plans without a reordering exchange gather partitions in
+    storage order, so their parallel stream must reproduce the serial
+    one *exactly* — no tolerance.  (Plans *with* a reordering
+    co-partition gather carry the order-insensitive contract instead and
+    are only held to the normalized-multiset check vs the reference.)"""
     serial_names = serial.column_names
     got_names = got.column_names
     if serial_names != got_names:
@@ -378,12 +387,19 @@ def _check_one_query(
             and executor.options.workers > 1
             and scheme in serial_relations
         ):
-            mismatch = _bitwise_mismatch(serial_relations[scheme], result.relation)
-            if mismatch is not None:
-                detail = (
-                    f"workers={executor.options.workers} diverges bit-for-bit "
-                    f"from the serial default run:\n{mismatch}"
-                )
+            # result-contract dispatch: plans whose fragment plan
+            # contains a reordering (canonical) gather are deterministic
+            # multisets, not serial-ordered streams — the normalized
+            # comparison above already covers them; everything else must
+            # still match the serial run bit-for-bit, order included
+            parallel = executor.parallel_plan(executor.lower(query.plan))
+            if not (parallel.is_parallel and parallel.reorders):
+                mismatch = _bitwise_mismatch(serial_relations[scheme], result.relation)
+                if mismatch is not None:
+                    detail = (
+                        f"workers={executor.options.workers} diverges bit-for-bit "
+                        f"from the serial default run:\n{mismatch}"
+                    )
         if detail is not None:
             pplan = executor.lower(query.plan)
             report.divergences.append(

@@ -112,8 +112,15 @@ class TestFragmentStructure:
             _, parallel = self._parallel(bdcc_db, query.plan)
             indices = {f.index for f in parallel.fragments}
             for op in parallel.operators():
-                if isinstance(op, (Exchange, Repartition)):
+                if isinstance(op, Exchange):
                     assert op.source_fragment in indices
+                elif isinstance(op, Repartition):
+                    sources = (
+                        op.source_fragments
+                        if op.mode == "rebin"
+                        else (op.source_fragment,)
+                    )
+                    assert sources and all(s in indices for s in sources)
 
     def test_zone_alignment_on_bdcc(self, bdcc_db):
         from repro.planner.logical import scan
@@ -171,3 +178,128 @@ class TestFragmentStructure:
         parallel = executor.parallel_plan(executor.lower(scan("lineitem").node))
         gathers = [op for op in parallel.operators() if isinstance(op, UnionAll)]
         assert gathers and all(g.preserve_order for g in gathers)
+
+
+class TestCoPartitionedJoins:
+    """The reordering co-partition split: both join sides re-binned on
+    the shared dimension bits, gathered in canonical order.  Contract:
+    same row multiset as serial — *exactly*, the join only moves stored
+    values — in a deterministic order that a canonical sort maps back
+    onto the serial result bit-for-bit."""
+
+    def _plan(self):
+        from repro.execution.expressions import col
+        from repro.planner.logical import scan
+
+        return scan("orders").join(
+            scan("lineitem", predicate=col("l_quantity").lt(12.0)),
+            on=[("o_orderkey", "l_orderkey")],
+        )
+
+    def _executor(self, bdcc_db, **options):
+        options.setdefault("workers", 4)
+        options.setdefault("min_partition_rows", 64)
+        return Executor(bdcc_db, options=ExecutionOptions(**options))
+
+    @staticmethod
+    def _canonical_sort(relation):
+        names = sorted(relation.column_names)
+        order = np.lexsort(tuple(relation.column(n) for n in reversed(names)))
+        return {n: relation.column(n)[order] for n in names}
+
+    def test_join_plan_copartitions_and_reorders(self, bdcc_db):
+        executor = self._executor(bdcc_db)
+        parallel = executor.parallel_plan(executor.lower(self._plan()))
+        roles = {f.role for f in parallel.fragments}
+        assert "copartition" in roles and "source" in roles
+        assert parallel.reorders
+        rebins = [
+            op for op in parallel.operators()
+            if isinstance(op, Repartition) and op.mode == "rebin"
+        ]
+        assert rebins and all(op.source_fragments for op in rebins)
+        gathers = [op for op in parallel.operators() if isinstance(op, UnionAll)]
+        assert any(g.canonical and not g.preserve_order for g in gathers)
+
+    def test_output_is_serial_multiset_exactly(self, bdcc_db):
+        plan = self._plan()
+        serial = Executor(bdcc_db).execute(plan)
+        parallel = self._executor(bdcc_db).execute(plan)
+        assert serial.relation.num_rows == parallel.relation.num_rows
+        a = self._canonical_sort(serial.relation)
+        b = self._canonical_sort(parallel.relation)
+        assert sorted(a) == sorted(b)
+        for name in a:  # bit-for-bit after the canonical sort, no tolerance
+            assert np.array_equal(a[name], b[name], equal_nan=False), name
+
+    def test_canonical_order_is_deterministic(self, bdcc_db):
+        plan = self._plan()
+        first = self._executor(bdcc_db).execute(plan)
+        second = self._executor(bdcc_db).execute(plan)
+        assert _identical(first.relation, second.relation)
+
+    def test_rebin_buckets_cover_producers_disjointly(self, bdcc_db):
+        """Per join side, the per-partition rebin masks partition every
+        producer row into exactly one bucket."""
+        from repro.parallel.exchange import rebin_ids
+
+        executor = self._executor(bdcc_db)
+        parallel = executor.parallel_plan(executor.lower(self._plan()))
+        results = {}
+        ctx_results = {}
+        # run producer fragments once, like the scheduler does
+        from repro.execution.cost import DEFAULT_COSTS
+        from repro.execution.operators import ExecutionContext
+        from repro.storage.io_model import PAPER_SSD
+        from repro.execution.metrics import ExecutionMetrics
+
+        for fragment in parallel.fragments:
+            ctx = ExecutionContext(
+                PAPER_SSD, DEFAULT_COSTS, ExecutionMetrics(),
+                fragment_results=ctx_results,
+            )
+            ctx_results[fragment.index] = fragment.root.run(ctx)
+        rebins = [
+            op for op in parallel.operators()
+            if isinstance(op, Repartition) and op.mode == "rebin"
+        ]
+        by_side = {}
+        for op in rebins:
+            by_side.setdefault((op.source_fragments, op.on), []).append(op)
+        assert by_side
+        for (sources, on), side_ops in by_side.items():
+            assert sorted(op.partition for op in side_ops) == list(
+                range(side_ops[0].partitions)
+            )
+            for source in sources:
+                rel = ctx_results[source]
+                bins = rebin_ids(rel, on)
+                parts = (bins * np.uint64(side_ops[0].partitions)) >> np.uint64(
+                    side_ops[0].total_bits
+                )
+                # every row lands in exactly one existing partition
+                assert parts.max(initial=0) < side_ops[0].partitions
+
+    def test_disabled_copartition_falls_back_to_broadcast(self, bdcc_db):
+        executor = self._executor(bdcc_db, enable_copartition=False)
+        parallel = executor.parallel_plan(executor.lower(self._plan()))
+        assert not parallel.reorders
+        assert any(f.role == "broadcast" for f in parallel.fragments)
+
+    def test_order_requiring_ancestors_block_copartition(self, bdcc_db):
+        """A LIMIT whose prefix is not re-established by a sort (the
+        result-contract barrier) keeps the join on the bit-identical
+        broadcast path; adding the sort re-admits the reorder."""
+        bare_limit = self._plan().limit(50)
+        executor = self._executor(bdcc_db)
+        parallel = executor.parallel_plan(executor.lower(bare_limit))
+        assert not parallel.reorders
+
+        sorted_limit = (
+            self._plan()
+            .sort([("o_orderkey", True), ("l_linenumber", True)])
+            .limit(50)
+        )
+        executor = self._executor(bdcc_db)
+        parallel = executor.parallel_plan(executor.lower(sorted_limit))
+        assert parallel.reorders

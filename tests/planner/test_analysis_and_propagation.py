@@ -172,3 +172,85 @@ class TestPropagationCorrectness:
         a = sorted(map(str, with_push.rows))
         b = sorted(map(str, without.rows))
         assert a == b
+
+
+class TestOrderContracts:
+    """Result-contract propagation: where may a reordering exchange be
+    introduced without breaking an order-requiring ancestor?"""
+
+    @staticmethod
+    def _contracts(bdcc_db, plan):
+        from repro.planner.executor import Executor
+
+        pplan = Executor(bdcc_db).lower(plan)
+        assert pplan.contracts is not None
+        return pplan, pplan.contracts
+
+    @staticmethod
+    def _join(pplan):
+        from repro.execution.operators import HashJoin, walk_physical
+
+        return next(
+            op for op in walk_physical(pplan.root) if isinstance(op, HashJoin)
+        )
+
+    def _base_join(self):
+        from repro.planner.logical import scan
+
+        return scan("orders").join(
+            scan("lineitem"), on=[("o_orderkey", "l_orderkey")]
+        )
+
+    def test_root_and_transparent_ancestors_admit_reorders(self, bdcc_db):
+        from repro.execution.aggregate import AggSpec
+        from repro.execution.expressions import col
+
+        plan = self._base_join().groupby(
+            ["o_orderpriority"], [AggSpec("n", "count", None)]
+        )
+        pplan, contracts = self._contracts(bdcc_db, plan)
+        join = self._join(pplan)
+        assert contracts[id(join)].reorder_admissible
+        assert contracts[id(pplan.root)].reorder_admissible
+
+    def test_bare_limit_blocks_sort_readmits(self, bdcc_db):
+        pplan, contracts = self._contracts(bdcc_db, self._base_join().limit(5))
+        assert not contracts[id(self._join(pplan))].reorder_admissible
+
+        sorted_plan = self._base_join().sort([("o_orderkey", True)]).limit(5)
+        pplan, contracts = self._contracts(bdcc_db, sorted_plan)
+        assert contracts[id(self._join(pplan))].reorder_admissible
+
+    def test_streaming_aggregation_requires_serial_order(self, pk_db):
+        """Under the PK scheme LINEITEM streams in key order: the
+        StreamAgg above the merge join forbids reorders below it."""
+        from repro.execution.aggregate import AggSpec
+        from repro.execution.expressions import col
+        from repro.execution.operators import StreamAgg, walk_physical
+        from repro.planner.executor import Executor
+
+        plan = self._base_join().groupby(
+            ["o_orderkey"], [AggSpec("qty", "sum", col("l_quantity"))]
+        )
+        pplan = Executor(pk_db).lower(plan)
+        ops = list(walk_physical(pplan.root))
+        agg = next((op for op in ops if isinstance(op, StreamAgg)), None)
+        if agg is None:
+            import pytest
+
+            pytest.skip("PK scheme did not choose a streaming aggregate")
+        child = agg.input
+        assert not pplan.contracts[id(child)].reorder_admissible
+
+    def test_semi_join_membership_side_is_order_free(self, bdcc_db):
+        from repro.planner.logical import scan
+
+        plan = scan("orders").join(
+            scan("lineitem"), on=[("o_orderkey", "l_orderkey")], how="semi"
+        ).limit(5)
+        pplan, contracts = self._contracts(bdcc_db, plan)
+        join = self._join(pplan)
+        # the limit blocks the left (assembled) side, but the
+        # membership side only contributes key membership
+        assert not contracts[id(join.left)].reorder_admissible
+        assert contracts[id(join.right)].reorder_admissible

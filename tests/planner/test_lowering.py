@@ -361,16 +361,16 @@ class TestAblationSwitchesAtLowering:
 class TestPlanCacheKeyedOnEveryOption:
     """Regression: flipping *any* ablation switch after a cached
     ``lower()`` must yield the re-lowered plan, never a stale one —
-    while the fragment-level knobs (workers, min_partition_rows) must
-    NOT re-lower: they select the fragment plan derived from the cached
-    lowering."""
+    while the fragment-level knobs (workers, min_partition_rows,
+    enable_copartition) must NOT re-lower: they select the fragment
+    plan derived from the cached lowering."""
 
     def test_cache_key_covers_every_planning_field(self):
         import dataclasses
 
         options = ExecutionOptions()
         runtime_only = ExecutionOptions._RUNTIME_ONLY
-        assert runtime_only == {"workers", "min_partition_rows"}
+        assert runtime_only == {"workers", "min_partition_rows", "enable_copartition"}
         # every planning field plus the physical database's update epoch
         assert len(options.cache_key()) == (
             len(dataclasses.fields(ExecutionOptions)) - len(runtime_only) + 1
