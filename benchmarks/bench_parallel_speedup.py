@@ -1,15 +1,20 @@
 """Parallel speedup: makespan vs worker count, scans and joins.
 
 Runs the scan-heavy Q1/Q6 and the join-bearing Q3 under BDCC across
-worker counts and prints resource-seconds vs makespan per count; for Q3
-it additionally prints the broadcast-only path (co-partitioning
-disabled) next to the default co-partitioned one.  Asserts the
+worker counts and prints resource-seconds vs makespan per count; for
+Q1/Q6 it additionally prints the gather-then-aggregate path (partial
+aggregation disabled) and for Q3 the broadcast-only path
+(co-partitioning disabled) next to the default one.  Asserts the
 invariants the subsystem promises:
 
 * the makespan is monotonically non-increasing in the worker count for
   every reported query — joins included — while the disk has free
   parallel streams, and never regresses materially beyond them;
 * Q1/Q6 reach >= 2x at 4 workers;
+* Q1's two-phase aggregation reaches >= 3x at 4 workers and beats the
+  gather-then-aggregate path by >= 1.3x there (Q1's serial tail —
+  aggregating every gathered row on one worker — is the bottleneck the
+  partial/merge rewrite removes);
 * Q3's co-partitioned join reaches >= 1.5x at 4 workers and beats the
   broadcast-only path, whose build side serialises it.
 
@@ -38,14 +43,16 @@ SCAN_QUERIES = ("Q01", "Q06")  # scan-heavy: the headline >= 2x speedups
 JOIN_QUERIES = ("Q03",)        # co-partitioned sandwich join vs broadcast
 
 
-def _makespans(pdb, env, qname, copartition=True, counts=WORKER_COUNTS):
+def _makespans(pdb, env, qname, copartition=True, partial_agg=True,
+               counts=WORKER_COUNTS):
     spans = {}
     serial_total = None
     for workers in counts:
         executor = Executor(
             pdb, disk=env.disk, costs=env.cost_model,
             options=ExecutionOptions(
-                workers=workers, enable_copartition=copartition
+                workers=workers, enable_copartition=copartition,
+                enable_partial_agg=partial_agg,
             ),
         )
         runner = QueryRunner(executor)
@@ -91,13 +98,34 @@ def run(scale_factor: float, seed: int) -> int:
 
     for qname in SCAN_QUERIES:
         spans, serial_total = _makespans(pdb, env, qname)
+        # a serial plan never rewrites, so the w=1 run is shared
+        gather, _ = _makespans(
+            pdb, env, qname, partial_agg=False,
+            counts=[w for w in WORKER_COUNTS if w > 1],
+        )
+        gather[1] = spans[1]
         report_row(qname, spans, serial_total)
+        report_row(f"{qname} (gather)", gather, serial_total)
         check_monotone(qname, spans)
         if spans[4] >= spans[1] / 2:
             failures.append(
                 f"{qname}: 4 workers reached only "
                 f"{spans[1] / spans[4]:.2f}x over 1 worker"
             )
+        if qname == "Q01":
+            partial_x = serial_total / spans[4]
+            over_gather = gather[4] / spans[4]
+            if partial_x < 3.0:
+                failures.append(
+                    f"Q01: two-phase aggregation reached only "
+                    f"{partial_x:.2f}x at 4 workers (expected >= 3.0x)"
+                )
+            if over_gather < 1.3:
+                failures.append(
+                    f"Q01: partial aggregation beat gather-then-aggregate "
+                    f"by only {over_gather:.2f}x at 4 workers "
+                    "(expected >= 1.3x)"
+                )
 
     for qname in JOIN_QUERIES:
         spans, serial_total = _makespans(pdb, env, qname)

@@ -12,9 +12,22 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["AggSpec", "group_rows", "apply_aggregate", "distinct_per_partition"]
+__all__ = [
+    "AggSpec",
+    "MergeSpec",
+    "group_rows",
+    "apply_aggregate",
+    "decompose_aggs",
+    "merge_partial_aggregates",
+    "distinct_per_partition",
+]
 
 SUPPORTED_AGGS = ("sum", "count", "avg", "min", "max", "count_distinct")
+
+#: aggregates with an exact partial/merge decomposition (two-phase
+#: parallel aggregation); ``count_distinct`` is *not* decomposable —
+#: per-partition distinct counts do not merge — and blocks the rewrite.
+DECOMPOSABLE_AGGS = ("sum", "count", "avg", "min", "max")
 
 
 @dataclass(frozen=True)
@@ -108,6 +121,111 @@ def apply_aggregate(
         groups_of_pairs = (distinct_pairs // np.int64(len(uniques))).astype(np.int64)
         return np.bincount(groups_of_pairs, minlength=num_groups).astype(np.int64)
     raise AssertionError(spec.fn)
+
+
+@dataclass(frozen=True)
+class MergeSpec:
+    """How one final aggregate is recovered from partial-state columns.
+
+    ``value`` names the partial column carrying the primary state (the
+    per-partition sums, counts or extrema); ``count`` names the
+    companion validity-count column two cases need:
+
+    * ``avg`` merges as ``sum(partial sums) / sum(partial counts)``;
+    * ``min``/``max`` must ignore partials of partitions where every
+      input row of the group was null — the kernels emit a type-specific
+      "empty" sentinel there (0 for ints, ±inf for floats, uninitialised
+      for strings) that would otherwise poison the merge.
+    """
+
+    name: str
+    fn: str
+    value: str
+    count: Optional[str] = None
+
+
+def decompose_aggs(
+    aggs: Sequence[AggSpec],
+) -> Optional[Tuple[Tuple[AggSpec, ...], Tuple[MergeSpec, ...]]]:
+    """Split aggregates into per-partition partial specs plus the merge
+    plan recombining them — the two-phase (partial/merge) decomposition:
+
+    ======  =======================  ============================
+    fn      partial state            merge
+    ======  =======================  ============================
+    sum     sum(expr)                sum(partial sums)
+    count   count(expr)              sum(partial counts)
+    avg     sum(expr), count(expr)   sum(sums) / sum(counts)
+    min     min(expr), count(expr)   min over valid partials
+    max     max(expr), count(expr)   max over valid partials
+    ======  =======================  ============================
+
+    Partial columns keep the final output names (the companion counts
+    are ``__pcnt__``-prefixed and internal); returns None when any
+    aggregate is not decomposable (``count_distinct``), which keeps the
+    serial gather-then-aggregate plan.
+    """
+    partials: List[AggSpec] = []
+    merges: List[MergeSpec] = []
+    for spec in aggs:
+        if spec.fn not in DECOMPOSABLE_AGGS:
+            return None
+        if spec.fn in ("sum", "count"):
+            partials.append(spec)
+            merges.append(MergeSpec(spec.name, spec.fn, spec.name))
+        else:
+            count_name = f"__pcnt__{spec.name}"
+            partial_fn = "sum" if spec.fn == "avg" else spec.fn
+            partials.append(AggSpec(spec.name, partial_fn, spec.expr))
+            partials.append(AggSpec(count_name, "count", spec.expr))
+            merges.append(MergeSpec(spec.name, spec.fn, spec.name, count_name))
+    return tuple(partials), tuple(merges)
+
+
+def merge_partial_aggregates(
+    merges: Sequence[MergeSpec],
+    group_index: np.ndarray,
+    num_groups: int,
+    columns: Dict[str, np.ndarray],
+) -> Dict[str, np.ndarray]:
+    """Recombine gathered partial-state columns into the final
+    aggregates, group numbering pre-factorised like :func:`group_rows`.
+
+    Matches the serial kernels' output dtypes and null semantics
+    exactly: counts come back int64, an all-null group's min/max
+    reproduces the serial sentinel (0 for ints, ±inf for floats), and
+    an empty group set yields empty float columns."""
+    out: Dict[str, np.ndarray] = {}
+    for m in merges:
+        if num_groups == 0:
+            out[m.name] = np.zeros(0)
+            continue
+        values = np.asarray(columns[m.value])
+        if m.fn == "sum":
+            out[m.name] = np.bincount(
+                group_index, weights=values.astype(np.float64), minlength=num_groups
+            )
+        elif m.fn == "count":
+            out[m.name] = np.bincount(
+                group_index, weights=values.astype(np.float64), minlength=num_groups
+            ).astype(np.int64)
+        elif m.fn == "avg":
+            sums = np.bincount(
+                group_index, weights=values.astype(np.float64), minlength=num_groups
+            )
+            counts = np.bincount(
+                group_index,
+                weights=np.asarray(columns[m.count], dtype=np.float64),
+                minlength=num_groups,
+            ).astype(np.int64)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                out[m.name] = sums / counts
+        else:  # min / max: only partials whose partition saw a valid row
+            valid = np.asarray(columns[m.count]) > 0
+            out[m.name] = apply_aggregate(
+                AggSpec(m.name, m.fn), group_index, num_groups, values, valid
+            )
+    return out
 
 
 def distinct_per_partition(partition_ids: np.ndarray, group_index: np.ndarray) -> np.ndarray:

@@ -34,7 +34,14 @@ import numpy as np
 from ..core.bits import gather_use_bits
 from ..storage.io_model import DiskModel
 from ..storage.stored_table import StoredTable
-from .aggregate import AggSpec, apply_aggregate, distinct_per_partition, group_rows
+from .aggregate import (
+    AggSpec,
+    MergeSpec,
+    apply_aggregate,
+    distinct_per_partition,
+    group_rows,
+    merge_partial_aggregates,
+)
 from .cost import CostModel
 from .expressions import Col, Expr
 from .join_utils import (
@@ -59,6 +66,8 @@ __all__ = [
     "HashAgg",
     "StreamAgg",
     "SandwichAgg",
+    "PartialAgg",
+    "MergeAgg",
     "Sort",
     "Limit",
     "walk_physical",
@@ -821,6 +830,11 @@ class _AggOp(PhysicalOp):
     keys: Tuple[str, ...] = ()
     aggs: Tuple[AggSpec, ...] = ()
     rationale: str = ""
+    #: lowering's cardinality estimates, recorded for the fragmenter's
+    #: partial-aggregation cost rule (group count vs input rows); 0.0
+    #: when the operator was built outside the lowering pass.
+    est_groups: float = 0.0
+    est_input_rows: float = 0.0
 
     def children(self) -> Tuple[PhysicalOp, ...]:
         return (self.input,)
@@ -965,6 +979,95 @@ class SandwichAgg(_AggOp):
         )
         ctx.metrics.bump("sandwich_aggs")
         return [use for use, _ in self.partition_uses]
+
+
+@dataclass(eq=False)
+class PartialAgg(_AggOp):
+    """Per-fragment pre-aggregation below the gather (phase one of the
+    two-phase aggregation): runs decomposed partial specs (see
+    :func:`repro.execution.aggregate.decompose_aggs`) over one
+    partition's rows, holding only that partition's group table, and
+    emits one row per locally seen group.  The shrunken partial stream
+    is what the exchange ships; :class:`MergeAgg` above the gather
+    recombines it."""
+
+    kind = "PartialAgg"
+
+    def _account(self, ctx, rel, group_index, num_groups, state_row) -> List[StreamUse]:
+        total_state = num_groups * state_row
+        ctx.hold("agg:partial", total_state)
+        factor = ctx.costs.cache_factor(total_state)
+        ctx.metrics.charge_cpu(rel.num_rows * ctx.costs.agg_update_row * factor, "aggregate")
+        ctx.metrics.bump("partial_agg_rows", num_groups)
+        return []
+
+
+@dataclass(eq=False)
+class MergeAgg(PhysicalOp):
+    """Phase two of the two-phase aggregation: the serial tail above the
+    gather that recombines the partial-state rows of every fragment's
+    :class:`PartialAgg` into the final aggregates.  Input rows arrive
+    partition-major (each partition's partials key-sorted, the gathered
+    stream not globally sorted); output is key-sorted like every
+    aggregation, so the operator reproduces the serial aggregate's row
+    order — only float summation order differs (order-insensitive
+    result contract)."""
+
+    input: PhysicalOp
+    keys: Tuple[str, ...] = ()
+    merges: Tuple[MergeSpec, ...] = ()
+    rationale: str = ""
+
+    kind = "MergeAgg"
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.input,)
+
+    def describe(self) -> str:
+        merges = ", ".join(f"{m.name}={m.fn}" for m in self.merges)
+        keys = ", ".join(self.keys) if self.keys else "<scalar>"
+        return f"MergeAgg [{keys}] -> {merges}"
+
+    def execute(self, ctx: ExecutionContext) -> Relation:
+        rel = self.input.run(ctx)
+        n = rel.num_rows
+        if self.keys:
+            if n:
+                group_index, first_rows, num_groups = group_rows(
+                    [rel.column(k) for k in self.keys]
+                )
+            else:
+                group_index = np.zeros(0, dtype=np.int64)
+                first_rows = np.zeros(0, dtype=np.int64)
+                num_groups = 0
+        else:
+            group_index = np.zeros(n, dtype=np.int64)
+            first_rows = np.zeros(1 if n else 0, dtype=np.int64)
+            num_groups = 1 if n else 0
+        state_row = (
+            (rel.row_bytes(list(self.keys)) if self.keys else 0.0)
+            + len(self.merges) * _AGG_STATE_BYTES
+            + _HASH_ENTRY_OVERHEAD
+        )
+        total_state = num_groups * state_row
+        ctx.hold("agg:merge", total_state)
+        factor = ctx.costs.cache_factor(total_state)
+        ctx.metrics.charge_cpu(n * ctx.costs.agg_update_row * factor, "aggregate")
+        if self.keys:
+            ctx.metrics.note(
+                f"merge aggregation on {self.keys}: {num_groups} groups "
+                f"from {n} partial rows"
+            )
+        columns: Dict[str, np.ndarray] = {}
+        owners: Dict[str, str] = {}
+        for key in self.keys:
+            columns[key] = rel.column(key)[first_rows]
+            if key in rel.owners:
+                owners[key] = rel.owners[key]
+        columns.update(
+            merge_partial_aggregates(self.merges, group_index, num_groups, rel.columns)
+        )
+        return Relation(columns=columns, sorted_on=tuple(self.keys), owners=owners)
 
 
 # ------------------------------------------------------------ sort/limit

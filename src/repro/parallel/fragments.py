@@ -58,12 +58,15 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..execution.aggregate import decompose_aggs
 from ..execution.operators import (
     DeltaMergeScan,
     HashAgg,
     HashJoin,
     Limit,
+    MergeAgg,
     MergeJoin,
+    PartialAgg,
     PhysicalFilter,
     PhysicalOp,
     PhysicalProject,
@@ -82,10 +85,22 @@ __all__ = [
     "plan_fragments",
     "DEFAULT_MIN_PARTITION_ROWS",
     "MIN_COPARTITION_PARTS",
+    "PARTIAL_AGG_SHRINK",
 ]
 
 #: below this many selected rows a scan is not worth its own fragment.
 DEFAULT_MIN_PARTITION_ROWS = 2048
+
+#: the partial-aggregation cost rule: pre-aggregate below the gather
+#: only when the estimated group count is at least this many times
+#: smaller than the estimated input rows.  High-cardinality groupings
+#: (groups ~ input rows) gain nothing from partials — every partition
+#: would ship nearly its whole input as "partial" state while paying an
+#: extra per-fragment hash table — so they keep the
+#: gather-then-aggregate plan.  Worker-count independent on purpose:
+#: once a grouping shrinks, it shrinks at every worker count, keeping
+#: the makespan monotone in workers (no plan-shape cliff at high counts).
+PARTIAL_AGG_SHRINK = 4.0
 
 #: a co-partitioned join needs at least this many bin ranges to beat the
 #: broadcast split: the shuffle touches every row of *both* sides, while
@@ -150,6 +165,15 @@ class ParallelPlan:
                 return True
         return False
 
+    @property
+    def reaggregates(self) -> bool:
+        """True when this plan pre-aggregates below the gather (a
+        MergeAgg serial tail over per-fragment PartialAgg): row *order*
+        is still the serial aggregate's key order, but float summation
+        order differs, so such plans also carry the order-insensitive
+        (tolerance) contract rather than the bit-identical one."""
+        return any(isinstance(op, MergeAgg) for op in self.operators())
+
     def operators(self):
         for fragment in self.fragments:
             yield from walk_physical(fragment.root)
@@ -187,11 +211,13 @@ class _FragmentPlanner:
         min_partition_rows: int,
         contracts: Optional[Dict[int, object]] = None,
         enable_copartition: bool = True,
+        enable_partial_agg: bool = True,
     ):
         self.workers = max(int(workers), 1)
         self.min_partition_rows = max(int(min_partition_rows), 1)
         self.contracts = contracts or {}
         self.enable_copartition = enable_copartition
+        self.enable_partial_agg = enable_partial_agg
         self.fragments: List[Fragment] = []
         self.notes: List[str] = []
 
@@ -208,34 +234,13 @@ class _FragmentPlanner:
     def visit(self, op: PhysicalOp) -> PhysicalOp:
         """Return the serial-tail form of ``op``: splittable subtrees are
         replaced by gathers over newly registered partition fragments."""
+        if isinstance(op, (HashAgg, StreamAgg)):
+            rewritten = self._visit_agg(op)
+            if rewritten is not None:
+                return rewritten
         split = self._split(op)
         if split is not None:
-            parts, note = split.parts, split.note
-            sources = [
-                self._add(
-                    part, split.role,
-                    f"{split.role} {i + 1}/{len(parts)}: {note}",
-                )
-                for i, part in enumerate(parts)
-            ]
-            exchanges = tuple(
-                Exchange(source_fragment=s, partition=i, partitions=len(parts))
-                for i, s in enumerate(sources)
-            )
-            self.notes.append(note)
-            if split.ordered:
-                rationale = f"gather {len(parts)} partitions ({note})"
-            else:
-                rationale = (
-                    f"canonical gather of {len(parts)} co-partitions ({note}); "
-                    "order-insensitive result contract"
-                )
-            return UnionAll(
-                inputs=exchanges,
-                preserve_order=split.ordered,
-                canonical=not split.ordered,
-                rationale=rationale,
-            )
+            return self._gather(split)
         # not splittable as a whole: recurse into the children
         if isinstance(op, (MergeJoin, HashJoin)):
             left, right = self.visit(op.left), self.visit(op.right)
@@ -248,6 +253,111 @@ class _FragmentPlanner:
             if new_child is not child:
                 return dataclasses.replace(op, input=new_child)
         return op
+
+    def _gather(self, split: _Split, rationale: str = "") -> UnionAll:
+        """Register one fragment per part and return the gather reading
+        them, flagged per the split's result contract."""
+        parts, note = split.parts, split.note
+        sources = [
+            self._add(
+                part, split.role,
+                f"{split.role} {i + 1}/{len(parts)}: {note}",
+            )
+            for i, part in enumerate(parts)
+        ]
+        exchanges = tuple(
+            Exchange(source_fragment=s, partition=i, partitions=len(parts))
+            for i, s in enumerate(sources)
+        )
+        self.notes.append(note)
+        if not rationale:
+            if split.ordered:
+                rationale = f"gather {len(parts)} partitions ({note})"
+            else:
+                rationale = (
+                    f"canonical gather of {len(parts)} co-partitions ({note}); "
+                    "order-insensitive result contract"
+                )
+        return UnionAll(
+            inputs=exchanges,
+            preserve_order=split.ordered,
+            canonical=not split.ordered,
+            rationale=rationale,
+        )
+
+    # --------------------------------------------- two-phase aggregation
+    def _partial_agg_pays(self, op) -> bool:
+        """The cost rule: partials must shrink the exchanged stream —
+        estimated groups at least ``PARTIAL_AGG_SHRINK`` times smaller
+        than estimated input rows.  Aggregates built outside the
+        lowering pass carry no estimates (0.0) and stay on the
+        gather-then-aggregate plan."""
+        if op.est_input_rows <= 0:
+            return False
+        return max(op.est_groups, 1.0) * PARTIAL_AGG_SHRINK <= op.est_input_rows
+
+    def _visit_agg(self, op) -> Optional[PhysicalOp]:
+        """Two-phase rewrite of a HashAgg/StreamAgg whose input splits:
+        each partition fragment pre-aggregates with a :class:`PartialAgg`
+        (the decomposed partial specs), the exchange ships the shrunken
+        partial streams, and one :class:`MergeAgg` above the gather
+        recombines them as the serial tail.
+
+        Gated on (a) the ablation switch, (b) the PR 5 result contract —
+        merging changes float summation order, so every ancestor must
+        admit the order-insensitive contract, (c) decomposability (no
+        ``count_distinct``), and (d) the cost rule.  Returns None to keep
+        the classic gather-then-aggregate plan."""
+        if not (self.enable_partial_agg and self._reorder_admissible(op)):
+            return None
+        decomposition = decompose_aggs(op.aggs)
+        if decomposition is None or not self._partial_agg_pays(op):
+            return None
+        sub = self._split(op.input)
+        if sub is None:
+            return None
+        if isinstance(op, StreamAgg) and not sub.ordered:
+            # unreachable by construction — a reordering split below a
+            # StreamAgg is forbidden by its own ordered-input contract —
+            # but degrade to the plain gather rather than trust that
+            return dataclasses.replace(op, input=self._gather(sub))
+        partial_specs, merges = decomposition
+        parts = [
+            PartialAgg(
+                input=part,
+                keys=op.keys,
+                aggs=partial_specs,
+                rationale="partial pre-aggregation below the gather",
+                est_groups=op.est_groups,
+                est_input_rows=op.est_input_rows / len(sub.parts),
+            )
+            for part in sub.parts
+        ]
+        pre = dataclasses.replace(
+            sub,
+            parts=parts,
+            note=f"{sub.note} + partial pre-aggregation",
+            # the gathered stream is partial-state rows, partition-major:
+            # not the serial stream in any order — the merge above it
+            # re-establishes the aggregate's key order
+            ordered=False,
+        )
+        gather = self._gather(
+            pre,
+            rationale=(
+                f"gather {len(parts)} partial-aggregate partitions; "
+                "order-insensitive result contract (merge re-sums)"
+            ),
+        )
+        return MergeAgg(
+            input=gather,
+            keys=op.keys,
+            merges=merges,
+            rationale=(
+                f"merge of {len(parts)} per-fragment partial aggregates "
+                f"(two-phase {op.kind})"
+            ),
+        )
 
     # ----------------------------------------------------------- splitting
     def _split(self, op: PhysicalOp) -> Optional[_Split]:
@@ -583,35 +693,43 @@ def plan_fragments(
     workers: int,
     min_partition_rows: int = DEFAULT_MIN_PARTITION_ROWS,
     enable_copartition: bool = True,
+    enable_partial_agg: bool = True,
 ) -> ParallelPlan:
     """Cut a lowered physical plan into partition-parallel fragments.
 
     Pure and deterministic, like lowering itself: the same
-    ``(plan, workers, min_partition_rows, enable_copartition)`` always
-    yields the same fragment structure, and the serial plan's operators
-    are reused wherever no split applies (fragments never re-lower).
+    ``(plan, workers, min_partition_rows, enable_copartition,
+    enable_partial_agg)`` always yields the same fragment structure, and
+    the serial plan's operators are reused wherever no split applies
+    (fragments never re-lower).
 
     Args:
         pplan: the lowered :class:`~repro.planner.lowering.PhysicalPlan`.
             Its ``contracts`` (result-contract map from lowering) gate
-            co-partitioned join splits; when absent they are recomputed
-            from the operator tree.
+            co-partitioned join splits and partial-aggregation rewrites;
+            when absent they are recomputed from the operator tree.
         workers: simulated worker count (clamped to >= 1); also the
             maximum number of partitions any single split produces.
         min_partition_rows: scans (and co-partitioned joins, counting
             both sides) below this many live rows stay serial.
         enable_copartition: allow the reordering co-partitioned join
             split; with False every parallelised join broadcasts its
-            build side and the plan keeps the bit-identical contract.
+            build side.
+        enable_partial_agg: allow the two-phase aggregation rewrite
+            (per-fragment PartialAgg below the exchange, MergeAgg above
+            it); with False every parallel aggregate gathers first.
+            With both switches off every parallel plan keeps the
+            bit-identical contract.
     """
     contracts = getattr(pplan, "contracts", None)
-    if contracts is None and enable_copartition:
+    if contracts is None and (enable_copartition or enable_partial_agg):
         from ..planner.propagation import compute_order_contracts
 
         contracts = compute_order_contracts(pplan.root)
     planner = _FragmentPlanner(
         workers, min_partition_rows,
         contracts=contracts, enable_copartition=enable_copartition,
+        enable_partial_agg=enable_partial_agg,
     )
     root = planner.visit(pplan.root)
     role = "final" if planner.fragments else "serial"

@@ -110,7 +110,8 @@ class Executor:
         workers = max(int(self.options.workers), 1)
         key = (
             id(pplan.root), workers, int(self.options.min_partition_rows),
-            bool(self.options.enable_copartition), self.pdb.epoch,
+            bool(self.options.enable_copartition),
+            bool(self.options.enable_partial_agg), self.pdb.epoch,
         )
         hit = self._fragment_cache.get(key)
         if hit is not None:
@@ -120,6 +121,7 @@ class Executor:
             pplan, workers,
             min_partition_rows=self.options.min_partition_rows,
             enable_copartition=self.options.enable_copartition,
+            enable_partial_agg=self.options.enable_partial_agg,
         )
         self._fragment_cache[key] = (pplan, parallel)
         while len(self._fragment_cache) > _PLAN_CACHE_SIZE:

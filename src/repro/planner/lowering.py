@@ -117,12 +117,21 @@ class ExecutionOptions:
     #: such plans trade the bit-identical result contract for the
     #: order-insensitive one (see docs/execution-model.md)
     enable_copartition: bool = True
+    #: lower eligible aggregations into per-fragment PartialAgg below
+    #: the exchange plus one MergeAgg above it (two-phase aggregation);
+    #: with False every parallel aggregate gathers first and the plan
+    #: keeps the bit-identical contract.  A fragment-level knob like
+    #: ``enable_copartition``: the serial lowering is untouched, so the
+    #: ablation is bit-identical to the serial plan by construction.
+    enable_partial_agg: bool = True
 
     #: fields that do not affect the lowered (serial) plan — they select
     #: the *fragment* plan derived from it, cached separately by the
     #: executor.  Excluded from ``cache_key`` so switching the worker
     #: count reuses the cached lowering and never re-lowers.
-    _RUNTIME_ONLY = frozenset({"workers", "min_partition_rows", "enable_copartition"})
+    _RUNTIME_ONLY = frozenset(
+        {"workers", "min_partition_rows", "enable_copartition", "enable_partial_agg"}
+    )
 
     def cache_key(self, epoch: int = 0) -> tuple:
         # every planning field participates, so a future switch can never
@@ -769,11 +778,18 @@ class _Lowering:
         if not streaming and node.keys and self.options.enable_sandwich:
             partition_uses = self._partition_uses(inp, node.keys)
 
+        # recorded on the operator for the fragmenter's partial-agg cost
+        # rule (estimated groups vs input rows); the estimate itself is
+        # this stream's est_rows, computed the same way below
+        est = 1.0 if not node.keys else min(
+            inp.est_rows, max(inp.est_rows ** 0.75, 1.0), self._group_domain(inp, node.keys)
+        )
         out_uses: List[StreamUse] = []
         if streaming:
             op = StreamAgg(
                 inp.op, node.keys, node.aggs,
                 rationale="input ordered on (a determinant of) the keys",
+                est_groups=est, est_input_rows=inp.est_rows,
             )
         elif partition_uses:
             granted: List[Tuple[StreamUse, int]] = []
@@ -791,10 +807,14 @@ class _Lowering:
                     + "+".join(u.dimension.name for u, _ in granted)
                     + f" @{total_bits} bits"
                 ),
+                est_groups=est, est_input_rows=inp.est_rows,
             )
             out_uses = [u for u, _ in granted]
         else:
-            op = HashAgg(inp.op, node.keys, node.aggs)
+            op = HashAgg(
+                inp.op, node.keys, node.aggs,
+                est_groups=est, est_input_rows=inp.est_rows,
+            )
 
         columns: Dict[str, float] = {}
         owners: Dict[str, str] = {}
@@ -806,9 +826,6 @@ class _Lowering:
             columns[spec.name] = 8.0
         for use in out_uses:
             columns[use.column] = 8.0
-        est = 1.0 if not node.keys else min(
-            inp.est_rows, max(inp.est_rows ** 0.75, 1.0), self._group_domain(inp, node.keys)
-        )
         return _Stream(op, columns, owners, tuple(node.keys), out_uses, est)
 
     def _group_domain(self, stream: _Stream, keys: Tuple[str, ...]) -> float:

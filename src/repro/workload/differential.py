@@ -30,8 +30,10 @@ __all__ = [
     "WorkloadReport",
     "ablation_variants",
     "worker_count_variants",
+    "column_tolerances",
     "normalized_rows",
     "rows_match",
+    "worst_relative_error",
     "run_differential",
     "run_update_differential",
 ]
@@ -64,9 +66,11 @@ def worker_count_variants(counts: Sequence[int]) -> Dict[str, ExecutionOptions]:
 def ablation_variants(full: bool = True) -> Dict[str, ExecutionOptions]:
     """The option grid a differential run sweeps: the default plan,
     each feature switched off on its own, a narrow sandwich-bit budget,
-    the everything-off baseline, the worker-count sweep, and the
-    broadcast-only parallel variant (co-partitioning disabled, so every
-    parallel plan keeps the bit-identical contract)."""
+    the everything-off baseline, the worker-count sweep, the
+    gather-then-aggregate parallel variant (partial aggregation
+    disabled, co-partitioning still on), and the broadcast-only parallel
+    variant (co-partitioning *and* partial aggregation disabled, so
+    every parallel plan keeps the bit-identical contract)."""
     variants = {"default": ExecutionOptions()}
     if not full:
         return variants
@@ -77,8 +81,12 @@ def ablation_variants(full: bool = True) -> Dict[str, ExecutionOptions]:
         **{switch: False for switch in _SWITCHES}
     )
     variants.update(worker_count_variants([n for n in _WORKER_COUNTS if n > 1]))
+    variants["workers-4-gatheragg"] = ExecutionOptions(
+        workers=4, min_partition_rows=256, enable_partial_agg=False
+    )
     variants["workers-4-broadcast"] = ExecutionOptions(
-        workers=4, min_partition_rows=256, enable_copartition=False
+        workers=4, min_partition_rows=256,
+        enable_copartition=False, enable_partial_agg=False,
     )
     return variants
 
@@ -92,6 +100,33 @@ _NAN_SENTINEL = -8.98846567431158e307   # distinct, sortable stand-ins
 #: misalignment can never cause a spurious mismatch.
 _REL_TOL = 2e-6
 _ABS_TOL = 2e-6
+#: per-dtype envelopes (keyed on float itemsize): float64 carries ~15
+#: significant digits, so summation-order noise sits far below 2e-6;
+#: float32 only carries ~7 — whenever either side stored one, the
+#: looser envelope applies to that column.
+_DTYPE_TOLERANCES = {8: (_REL_TOL, _ABS_TOL), 4: (1e-4, 1e-4)}
+
+
+def column_tolerances(names: Sequence[str], *column_maps) -> List[Optional[tuple]]:
+    """Per-column ``(rel_tol, abs_tol)`` over ``sorted(names)``: the
+    loosest envelope any side's float dtype needs, ``None`` for
+    non-float columns (compared exactly).  Pass every side's column
+    mapping — the reference computes in float64, but an engine column
+    that was stored narrower legitimately rounds more coarsely."""
+    tolerances: List[Optional[tuple]] = []
+    for name in sorted(names):
+        tol: Optional[tuple] = None
+        for columns in column_maps:
+            array = np.asarray(columns[name])
+            if array.dtype.kind != "f":
+                continue
+            candidate = _DTYPE_TOLERANCES.get(
+                array.dtype.itemsize, _DTYPE_TOLERANCES[8]
+            )
+            if tol is None or candidate[0] > tol[0]:
+                tol = candidate
+        tolerances.append(tol)
+    return tolerances
 
 
 def _normalize_column(array: np.ndarray) -> list:
@@ -143,26 +178,50 @@ def normalized_rows(columns: Dict[str, np.ndarray], names: Sequence[str]) -> Lis
     return [rows[i] for i in order]
 
 
-def _values_match(a, b) -> bool:
+def _values_match(a, b, tol: Optional[tuple] = None) -> bool:
     if isinstance(a, float) or isinstance(b, float):
-        return math.isclose(a, b, rel_tol=_REL_TOL, abs_tol=_ABS_TOL)
+        rel, abs_ = tol if tol is not None else (_REL_TOL, _ABS_TOL)
+        return math.isclose(a, b, rel_tol=rel, abs_tol=abs_)
     return a == b
 
 
-def rows_match(expected: List[tuple], got: List[tuple]) -> bool:
+def rows_match(
+    expected: List[tuple],
+    got: List[tuple],
+    tolerances: Optional[List[Optional[tuple]]] = None,
+) -> bool:
     """Pairwise comparison of two sorted row multisets; floats compare
     with relative/absolute tolerance (the reference's pairwise ``np.sum``
     and the engine's per-row accumulation round differently, and row
-    order — hence accumulation order — differs per scheme)."""
+    order — hence accumulation order — differs per scheme).  With
+    ``tolerances`` (see :func:`column_tolerances`) each column gets its
+    own dtype-derived envelope; without, the float64 default applies."""
     if len(expected) != len(got):
         return False
     for expected_row, got_row in zip(expected, got):
         if len(expected_row) != len(got_row):
             return False
-        for a, b in zip(expected_row, got_row):
-            if not _values_match(a, b):
+        for index, (a, b) in enumerate(zip(expected_row, got_row)):
+            tol = tolerances[index] if tolerances is not None else None
+            if not _values_match(a, b, tol):
                 return False
     return True
+
+
+def worst_relative_error(expected: List[tuple], got: List[tuple]) -> float:
+    """The largest relative float discrepancy between two matched row
+    multisets — the sweep reports its maximum so the gap between the
+    noise actually observed and the comparison tolerance stays
+    visible."""
+    worst = 0.0
+    for expected_row, got_row in zip(expected, got):
+        for a, b in zip(expected_row, got_row):
+            if not (isinstance(a, float) or isinstance(b, float)):
+                continue
+            denominator = max(abs(a), abs(b))
+            if denominator > 0.0:
+                worst = max(worst, abs(a - b) / denominator)
+    return worst
 
 
 # -------------------------------------------------------------- reporting
@@ -218,6 +277,10 @@ class WorkloadReport:
     strategies: Dict[str, int] = field(default_factory=dict)
     #: per-operator-kind actuals accumulated over the default-variant runs
     operator_totals: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: largest relative float discrepancy seen across all matched
+    #: (query, scheme, variant) results — how close the observed
+    #: summation-order noise comes to the comparison tolerance
+    worst_rel_error: float = 0.0
     #: update-aware sweeps only: committed batches and their volume
     commits: int = 0
     rows_inserted: int = 0
@@ -237,6 +300,11 @@ class WorkloadReport:
             lines.append(
                 f"updates: {self.commits} commits (+{self.rows_inserted} rows, "
                 f"-{self.rows_deleted} rows, {self.compactions} compactions)"
+            )
+        if self.executions:
+            lines.append(
+                f"worst float relative error: {self.worst_rel_error:.2e} "
+                f"(tolerance {_REL_TOL:.0e})"
             )
         if self.strategies:
             strategies = ", ".join(
@@ -300,14 +368,21 @@ def _bitwise_mismatch(serial, got) -> Optional[str]:
 
 
 # ------------------------------------------------------------------ runner
-def _diff_detail(expected: List[tuple], got: List[tuple]) -> str:
+def _diff_detail(
+    expected: List[tuple],
+    got: List[tuple],
+    tolerances: Optional[List[Optional[tuple]]] = None,
+) -> str:
     lines = [f"expected {len(expected)} rows, got {len(got)} rows"]
     shown = 0
     for i in range(min(len(expected), len(got))):
         if shown >= 3:
             lines.append("...")
             break
-        if not all(_values_match(a, b) for a, b in zip(expected[i], got[i])):
+        if not all(
+            _values_match(a, b, tolerances[j] if tolerances else None)
+            for j, (a, b) in enumerate(zip(expected[i], got[i]))
+        ):
             lines.append(f"row {i}: expected {expected[i]}")
             lines.append(f"row {i}: got      {got[i]}")
             shown += 1
@@ -381,7 +456,16 @@ def _check_one_query(
             got = None
         else:
             got = normalized_rows(result.relation.columns, got_names)
-            detail = None if rows_match(expected, got) else _diff_detail(expected, got)
+            tolerances = column_tolerances(
+                got_names, reference.columns, result.relation.columns
+            )
+            if rows_match(expected, got, tolerances):
+                detail = None
+                report.worst_rel_error = max(
+                    report.worst_rel_error, worst_relative_error(expected, got)
+                )
+            else:
+                detail = _diff_detail(expected, got, tolerances)
         if (
             detail is None
             and executor.options.workers > 1

@@ -303,3 +303,193 @@ class TestCoPartitionedJoins:
         executor = self._executor(bdcc_db)
         parallel = executor.parallel_plan(executor.lower(sorted_limit))
         assert parallel.reorders
+
+
+class TestPartialAggregation:
+    """Two-phase aggregation: decomposable aggregates lower into
+    per-fragment ``PartialAgg``s below the gather plus one ``MergeAgg``
+    above a canonical ``UnionAll`` — gated on the result contract,
+    decomposability of every aggregate, and the group-cardinality cost
+    rule.  Contract: same row multiset as serial within float tolerance
+    (the merge re-sums in gather order), deterministic across runs."""
+
+    def _plan(self):
+        from repro.execution.aggregate import AggSpec
+        from repro.execution.expressions import col
+        from repro.planner.logical import scan
+
+        return (
+            scan("lineitem")
+            .groupby(
+                ("l_returnflag",),
+                [
+                    AggSpec("s", "sum", col("l_extendedprice")),
+                    AggSpec("a", "avg", col("l_quantity")),
+                    AggSpec("lo", "min", col("l_discount")),
+                    AggSpec("hi", "max", col("l_discount")),
+                    AggSpec("c", "count"),
+                ],
+            )
+            .sort([("l_returnflag", True)])
+        )
+
+    def _executor(self, pdb, **options):
+        options.setdefault("workers", 4)
+        options.setdefault("min_partition_rows", 64)
+        return Executor(pdb, options=ExecutionOptions(**options))
+
+    def test_plan_shape_partial_below_merge_above(self, bdcc_db):
+        from repro.execution.operators import HashAgg, MergeAgg, PartialAgg
+
+        executor = self._executor(bdcc_db)
+        parallel = executor.parallel_plan(executor.lower(self._plan()))
+        assert parallel.is_parallel and parallel.reorders and parallel.reaggregates
+        partials = [op for op in parallel.operators() if isinstance(op, PartialAgg)]
+        merges = [op for op in parallel.operators() if isinstance(op, MergeAgg)]
+        assert len(partials) >= 2 and len(merges) == 1
+        # every partition fragment pre-aggregates; the one merge sits
+        # directly above the canonical (order-insensitive) gather
+        partitions = [f for f in parallel.fragments if f.role == "partition"]
+        assert partitions and all(
+            any(isinstance(op, PartialAgg) for op in walk_physical(f.root))
+            for f in partitions
+        )
+        gather = merges[0].input
+        assert isinstance(gather, UnionAll) and not gather.preserve_order
+        assert gather.canonical
+        # the serial HashAgg tail is fully replaced
+        assert not any(isinstance(op, HashAgg) for op in parallel.operators())
+        # avg decomposes into sum + companion count; companions never
+        # survive the merge
+        partial_names = [spec.name for spec in partials[0].aggs]
+        assert "__pcnt__a" in partial_names
+        assert [m.name for m in merges[0].merges] == ["s", "a", "lo", "hi", "c"]
+
+    def test_results_match_serial_multiset_and_are_deterministic(self, pdb):
+        from repro.workload.differential import normalized_rows, rows_match
+
+        serial = Executor(pdb).execute(self._plan())
+        executor = self._executor(pdb)
+        parallel = executor.execute(self._plan())
+        names = sorted(serial.relation.column_names)
+        assert rows_match(
+            normalized_rows(serial.relation.columns, names),
+            normalized_rows(parallel.relation.columns, names),
+        )
+        again = self._executor(pdb).execute(self._plan())
+        assert _identical(parallel.relation, again.relation)
+
+    def test_ablation_disables_rewrite_and_stays_bit_identical(self, pdb):
+        from repro.execution.operators import MergeAgg, PartialAgg
+
+        serial = Executor(pdb).execute(self._plan())
+        executor = self._executor(pdb, enable_partial_agg=False)
+        parallel = executor.parallel_plan(executor.lower(self._plan()))
+        assert not any(
+            isinstance(op, (PartialAgg, MergeAgg)) for op in parallel.operators()
+        )
+        assert not parallel.reaggregates
+        result = executor.execute(self._plan())
+        assert _identical(serial.relation, result.relation)
+
+    def test_order_requiring_ancestors_block_partial_agg(self, bdcc_db):
+        """A LIMIT above the aggregate whose prefix no sort
+        re-establishes is the result-contract barrier: the plan keeps
+        the serial gather-then-aggregate tail.  Adding the sort
+        re-admits the rewrite."""
+        from repro.execution.aggregate import AggSpec
+        from repro.execution.expressions import col
+        from repro.execution.operators import PartialAgg
+        from repro.planner.logical import scan
+
+        def agg_plan():
+            return scan("lineitem").groupby(
+                ("l_returnflag", "l_linestatus"),
+                [AggSpec("s", "sum", col("l_extendedprice"))],
+            )
+
+        executor = self._executor(bdcc_db)
+        bare_limit = executor.parallel_plan(executor.lower(agg_plan().limit(3)))
+        assert bare_limit.is_parallel
+        assert not any(
+            isinstance(op, PartialAgg) for op in bare_limit.operators()
+        )
+        assert not bare_limit.reorders
+
+        sorted_limit = executor.parallel_plan(
+            executor.lower(
+                agg_plan().sort([("l_returnflag", True)]).limit(3)
+            )
+        )
+        assert any(isinstance(op, PartialAgg) for op in sorted_limit.operators())
+
+    def test_sorted_stream_agg_consumer_blocks_rewrite(self, pk_db):
+        """A StreamAgg whose sorted output a LIMIT consumes directly is
+        the same barrier: the rewrite would hand the consumer merged
+        rows in gather order.  A sort in between re-admits it (the
+        defensive StreamAgg path still splits: PK page ranges are
+        contiguous, so the split stays ordered)."""
+        from repro.execution.aggregate import AggSpec
+        from repro.execution.expressions import col
+        from repro.execution.operators import PartialAgg, StreamAgg
+        from repro.planner.logical import scan
+
+        def agg_plan():
+            return scan("lineitem").groupby(
+                ("l_orderkey",), [AggSpec("s", "sum", col("l_extendedprice"))]
+            )
+
+        executor = self._executor(pk_db)
+        pplan = executor.lower(agg_plan().limit(5))
+        assert any(
+            isinstance(op, StreamAgg) for op in walk_physical(pplan.root)
+        ), "PK clustering must pick the streaming aggregate"
+        parallel = executor.parallel_plan(pplan)
+        assert parallel.is_parallel
+        assert not any(
+            isinstance(op, PartialAgg) for op in parallel.operators()
+        )
+
+        resorted = agg_plan().sort([("l_orderkey", True)]).limit(5)
+        parallel = executor.parallel_plan(executor.lower(resorted))
+        assert any(isinstance(op, PartialAgg) for op in parallel.operators())
+
+    def test_cost_rule_keeps_high_cardinality_groupings_serial(self, bdcc_db):
+        """When the estimated group count is within a factor of the
+        input rows (supplier: 50 rows, ~19 estimated groups), partial
+        aggregation cannot shrink the exchange enough to pay — the
+        gather-then-aggregate tail stays."""
+        from repro.execution.aggregate import AggSpec
+        from repro.execution.expressions import col
+        from repro.execution.operators import PartialAgg
+        from repro.planner.logical import scan
+
+        plan = scan("supplier").groupby(
+            ("s_nationkey",), [AggSpec("s", "sum", col("s_acctbal"))]
+        )
+        executor = self._executor(bdcc_db, min_partition_rows=8)
+        parallel = executor.parallel_plan(executor.lower(plan))
+        assert parallel.is_parallel, "the scan itself still splits"
+        assert not any(
+            isinstance(op, PartialAgg) for op in parallel.operators()
+        )
+
+    def test_non_decomposable_aggregate_blocks_rewrite(self, bdcc_db):
+        from repro.execution.aggregate import AggSpec
+        from repro.execution.expressions import col
+        from repro.execution.operators import PartialAgg
+        from repro.planner.logical import scan
+
+        plan = scan("lineitem").groupby(
+            ("l_returnflag",),
+            [
+                AggSpec("s", "sum", col("l_extendedprice")),
+                AggSpec("d", "count_distinct", col("l_orderkey")),
+            ],
+        ).sort([("l_returnflag", True)])
+        executor = self._executor(bdcc_db)
+        parallel = executor.parallel_plan(executor.lower(plan))
+        assert parallel.is_parallel
+        assert not any(
+            isinstance(op, PartialAgg) for op in parallel.operators()
+        )

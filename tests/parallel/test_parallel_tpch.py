@@ -16,12 +16,16 @@ from repro.tpch.runner import QueryRunner
 from repro.workload.differential import normalized_rows, rows_match
 
 
-def _run(pdb, environment, qname, workers=1, copartition=True):
+def _run(pdb, environment, qname, workers=1, copartition=True, partial_agg=True):
     executor = Executor(
         pdb,
         disk=environment.disk,
         costs=environment.cost_model,
-        options=ExecutionOptions(workers=workers, enable_copartition=copartition),
+        options=ExecutionOptions(
+            workers=workers,
+            enable_copartition=copartition,
+            enable_partial_agg=partial_agg,
+        ),
     )
     runner = QueryRunner(executor)
     result = QUERIES[qname](runner)
@@ -91,12 +95,13 @@ class TestAllQueriesMatchSerial:
     def test_broadcast_only_path_stays_bit_identical(
         self, bdcc_db, environment, qname
     ):
-        """With co-partitioning disabled every parallel plan keeps the
-        bit-identical contract — the pre-existing guarantee survives as
-        an ablation."""
+        """With co-partitioning and partial aggregation disabled every
+        parallel plan keeps the bit-identical contract — the pre-existing
+        guarantee survives as an ablation."""
         serial, _, _ = _run(bdcc_db, environment, qname, workers=1)
         parallel, _, reorders = _run(
-            bdcc_db, environment, qname, workers=4, copartition=False
+            bdcc_db, environment, qname, workers=4,
+            copartition=False, partial_agg=False,
         )
         assert not reorders, qname
         assert _identical(serial.relation, parallel.relation), qname
@@ -171,18 +176,22 @@ def _masked_fragment_skeleton(pdb, environment, qname, workers=4) -> str:
 
 
 _Q01_FRAGMENTS = """\
-fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows  (worker # start=#ms busy=#ms wait=#ms)
-  Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
-fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows  (worker # start=#ms busy=#ms wait=#ms)
-  Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
-fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows  (worker # start=#ms busy=#ms wait=#ms)
-  Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
-fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows  (worker # start=#ms busy=#ms wait=#ms)
-  Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows + partial pre-aggregation  (worker # start=#ms busy=#ms wait=#ms)
+  PartialAgg [l_returnflag, l_linestatus] -> sum_qty=sum, sum_base_price=sum, sum_disc_price=sum, sum_charge=sum, avg_qty=sum, __pcnt__avg_qty=count, avg_price=sum, __pcnt__avg_price=count, avg_disc=sum, __pcnt__avg_disc=count, count_order=count  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+    Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows + partial pre-aggregation  (worker # start=#ms busy=#ms wait=#ms)
+  PartialAgg [l_returnflag, l_linestatus] -> sum_qty=sum, sum_base_price=sum, sum_disc_price=sum, sum_charge=sum, avg_qty=sum, __pcnt__avg_qty=count, avg_price=sum, __pcnt__avg_price=count, avg_disc=sum, __pcnt__avg_disc=count, count_order=count  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+    Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows + partial pre-aggregation  (worker # start=#ms busy=#ms wait=#ms)
+  PartialAgg [l_returnflag, l_linestatus] -> sum_qty=sum, sum_base_price=sum, sum_disc_price=sum, sum_charge=sum, avg_qty=sum, __pcnt__avg_qty=count, avg_price=sum, __pcnt__avg_price=count, avg_disc=sum, __pcnt__avg_disc=count, count_order=count  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+    Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows + partial pre-aggregation  (worker # start=#ms busy=#ms wait=#ms)
+  PartialAgg [l_returnflag, l_linestatus] -> sum_qty=sum, sum_base_price=sum, sum_disc_price=sum, sum_charge=sum, avg_qty=sum, __pcnt__avg_qty=count, avg_price=sum, __pcnt__avg_price=count, avg_disc=sum, __pcnt__avg_disc=count, count_order=count  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+    Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
 fragment # [final] serial tail above the gathers <- f#, f#, f#, f#  (worker # start=#ms busy=#ms wait=#ms)
   Sort [l_returnflag, l_linestatus]  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
-    HashAgg [l_returnflag, l_linestatus] -> sum_qty=sum, sum_base_price=sum, sum_disc_price=sum, sum_charge=sum, avg_qty=avg, avg_price=avg, avg_disc=avg, count_order=count  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
-      UnionAll [# partitions]  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+    MergeAgg [l_returnflag, l_linestatus] -> sum_qty=sum, sum_base_price=sum, sum_disc_price=sum, sum_charge=sum, avg_qty=avg, avg_price=avg, avg_disc=avg, count_order=count  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+      UnionAll [# partitions, canonical order]  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
         Exchange <- fragment # [#/#]  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
         Exchange <- fragment # [#/#]  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
         Exchange <- fragment # [#/#]  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
@@ -190,17 +199,21 @@ fragment # [final] serial tail above the gathers <- f#, f#, f#, f#  (worker # st
 makespan: # ms over # workers (# ms resource-seconds, speedup #x)"""
 
 _Q06_FRAGMENTS = """\
-fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows  (worker # start=#ms busy=#ms wait=#ms)
-  Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
-fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows  (worker # start=#ms busy=#ms wait=#ms)
-  Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
-fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows  (worker # start=#ms busy=#ms wait=#ms)
-  Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
-fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows  (worker # start=#ms busy=#ms wait=#ms)
-  Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows + partial pre-aggregation  (worker # start=#ms busy=#ms wait=#ms)
+  PartialAgg [<scalar>] -> revenue=sum  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+    Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows + partial pre-aggregation  (worker # start=#ms busy=#ms wait=#ms)
+  PartialAgg [<scalar>] -> revenue=sum  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+    Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows + partial pre-aggregation  (worker # start=#ms busy=#ms wait=#ms)
+  PartialAgg [<scalar>] -> revenue=sum  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+    Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+fragment # [partition] partition #/#: scan lineitem: # zone-aligned partitions over # rows + partial pre-aggregation  (worker # start=#ms busy=#ms wait=#ms)
+  PartialAgg [<scalar>] -> revenue=sum  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+    Scan lineitem WHERE ...  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
 fragment # [final] serial tail above the gathers <- f#, f#, f#, f#  (worker # start=#ms busy=#ms wait=#ms)
-  HashAgg [<scalar>] -> revenue=sum  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
-    UnionAll [# partitions]  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+  MergeAgg [<scalar>] -> revenue=sum  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
+    UnionAll [# partitions, canonical order]  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
       Exchange <- fragment # [#/#]  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
       Exchange <- fragment # [#/#]  (actual rows=#-># io=#ms cpu=#ms mem=#MB)
       Exchange <- fragment # [#/#]  (actual rows=#-># io=#ms cpu=#ms mem=#MB)

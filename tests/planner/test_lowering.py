@@ -370,7 +370,10 @@ class TestPlanCacheKeyedOnEveryOption:
 
         options = ExecutionOptions()
         runtime_only = ExecutionOptions._RUNTIME_ONLY
-        assert runtime_only == {"workers", "min_partition_rows", "enable_copartition"}
+        assert runtime_only == {
+            "workers", "min_partition_rows", "enable_copartition",
+            "enable_partial_agg",
+        }
         # every planning field plus the physical database's update epoch
         assert len(options.cache_key()) == (
             len(dataclasses.fields(ExecutionOptions)) - len(runtime_only) + 1

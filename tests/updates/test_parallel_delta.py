@@ -1,8 +1,12 @@
-"""Fragmented delta scans: parallel must be bit-identical to serial.
+"""Fragmented delta scans: parallel must match serial per its contract.
 
 BDCC merge-on-read scans split along zone boundaries of the merged
-base+delta stream; Plain/PK delta scans degrade to the serial plan —
-either way, results match the serial run exactly, order included.
+base+delta stream; Plain/PK delta scans degrade to the serial plan.
+With the partial-aggregation rewrite disabled the results match the
+serial run exactly, order included (the pre-existing bit-identical
+guarantee, kept as an ablation); with it enabled, aggregate tails over
+delta-merge partitions pre-aggregate per fragment and match serial as a
+tolerance multiset (float summation order changes).
 """
 
 import numpy as np
@@ -10,11 +14,12 @@ import pytest
 
 from repro.execution.aggregate import AggSpec
 from repro.execution.expressions import col
-from repro.execution.operators import DeltaMergeScan
+from repro.execution.operators import DeltaMergeScan, PartialAgg
 from repro.parallel.fragments import plan_fragments
 from repro.planner.executor import ExecutionOptions, Executor
 from repro.planner.logical import scan
 from repro.updates import CompactionPolicy, UpdateSession
+from repro.workload.differential import normalized_rows, rows_match
 
 from .conftest import sample_lineitem_insert, sample_orders_insert
 
@@ -58,7 +63,10 @@ class TestParallelDeltaScans:
             serial = Executor(pdb, disk=env.disk, costs=env.cost_model).execute(plan)
             executor = Executor(
                 pdb, disk=env.disk, costs=env.cost_model,
-                options=ExecutionOptions(workers=workers, min_partition_rows=128),
+                options=ExecutionOptions(
+                    workers=workers, min_partition_rows=128,
+                    enable_partial_agg=False,
+                ),
             )
             parallel_plan = executor.parallel_plan(executor.lower(plan))
             assert parallel_plan.is_parallel, "the delta scan must fragment"
@@ -73,6 +81,37 @@ class TestParallelDeltaScans:
                 assert np.array_equal(
                     serial.relation.column(name), result.relation.column(name)
                 ), name
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_partial_agg_over_delta_merge_scans(self, dirty, workers):
+        """DeltaMergeScan partitions feed per-fragment PartialAggs and the
+        merged result matches serial as a tolerance multiset."""
+        _, env, pdbs = dirty
+        pdb = pdbs["bdcc"]
+        plan = _plans()[1]
+        serial = Executor(pdb, disk=env.disk, costs=env.cost_model).execute(plan)
+        executor = Executor(
+            pdb, disk=env.disk, costs=env.cost_model,
+            options=ExecutionOptions(workers=workers, min_partition_rows=128),
+        )
+        parallel_plan = executor.parallel_plan(executor.lower(plan))
+        assert parallel_plan.is_parallel
+        delta_scans = [
+            op for op in parallel_plan.operators()
+            if isinstance(op, DeltaMergeScan)
+        ]
+        assert len(delta_scans) >= 2, "base+delta split into partitions"
+        partials = [
+            op for op in parallel_plan.operators() if isinstance(op, PartialAgg)
+        ]
+        assert len(partials) >= 2, "aggregate lowered below the gather"
+        result = executor.execute(plan)
+        assert result.relation.column_names == serial.relation.column_names
+        names = sorted(serial.relation.column_names)
+        assert rows_match(
+            normalized_rows(serial.relation.columns, names),
+            normalized_rows(result.relation.columns, names),
+        )
 
     def test_partitions_cover_the_delta_rows_exactly_once(self, dirty):
         _, env, pdbs = dirty

@@ -11,10 +11,12 @@ import pytest
 from repro.workload.differential import (
     WorkloadReport,
     ablation_variants,
+    column_tolerances,
     normalized_rows,
     rows_match,
     run_differential,
     worker_count_variants,
+    worst_relative_error,
 )
 
 
@@ -47,6 +49,30 @@ class TestNormalization:
     def test_int_float_equality(self):
         assert rows_match([(5,)], [(5.0,)])
 
+    def test_per_dtype_tolerances(self):
+        """float32 columns get the loose envelope whenever *either* side
+        stored one; float64 keeps the tight default; non-floats compare
+        exactly (None)."""
+        tols = column_tolerances(
+            ["a", "b", "c"],
+            {"a": np.zeros(1, np.float64), "b": np.zeros(1, np.float32),
+             "c": np.zeros(1, np.int64)},
+            {"a": np.zeros(1, np.float32), "b": np.zeros(1, np.float64),
+             "c": np.zeros(1, np.int64)},
+        )
+        assert tols[0] == tols[1]
+        assert tols[0][0] > 2e-6  # loosened by the float32 side
+        assert tols[2] is None
+        # a 3e-5 relative gap: inside the float32 envelope, outside float64
+        a, b = [(1.0,)], [(1.00003,)]
+        assert rows_match(a, b, [tols[0]])
+        assert not rows_match(a, b)
+
+    def test_worst_relative_error(self):
+        assert worst_relative_error([(1.0, "x")], [(1.0, "x")]) == 0.0
+        got = worst_relative_error([(2.0, 7)], [(2.0 + 2e-7, 7)])
+        assert got == pytest.approx(1e-7, rel=1e-3)
+
 
 class TestVariants:
     def test_grid_covers_every_switch(self):
@@ -70,6 +96,18 @@ class TestVariants:
         variants = worker_count_variants([1, 2, 4])
         assert list(variants) == ["workers-1", "workers-2", "workers-4"]
         assert variants["workers-1"].workers == 1
+
+    def test_grid_isolates_each_parallel_rewrite(self):
+        """`workers-4-gatheragg` keeps co-partitioning but serialises
+        aggregation; `workers-4-broadcast` turns both off, keeping the
+        fully bit-identical parallel path in the sweep."""
+        variants = ablation_variants()
+        gatheragg = variants["workers-4-gatheragg"]
+        assert gatheragg.workers == 4
+        assert gatheragg.enable_copartition and not gatheragg.enable_partial_agg
+        broadcast = variants["workers-4-broadcast"]
+        assert not broadcast.enable_copartition
+        assert not broadcast.enable_partial_agg
 
 
 @pytest.mark.fast
