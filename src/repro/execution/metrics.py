@@ -19,6 +19,7 @@ __all__ = [
     "OperatorActuals",
     "FragmentActuals",
     "ExecutionMetrics",
+    "merge_operator_actuals",
 ]
 
 
@@ -82,6 +83,14 @@ class OperatorActuals:
     state (hash builds, aggregation tables, sort buffers) this operator
     held; the query-wide peak of concurrently live reservations remains
     the Figure 3 quantity on :class:`ExecutionMetrics`.
+
+    ``executions`` counts how many times the operator ran within the
+    recorded window.  An operator object can execute more than once per
+    query — fragmenting clones only the spine of a plan, so a leaf or
+    broadcast subtree may be shared by several fragments — and merged
+    parallel metrics *accumulate* those runs (see
+    :func:`merge_operator_actuals`) instead of keeping only the last
+    one, preserving the sum-to-totals invariant.
     """
 
     kind: str
@@ -93,10 +102,22 @@ class OperatorActuals:
     io_seconds: float = 0.0
     cpu_seconds: float = 0.0
     reserved_bytes: float = 0.0
+    executions: int = 1
 
     @property
     def total_seconds(self) -> float:
         return self.io_seconds + self.cpu_seconds
+
+    def absorb(self, other: "OperatorActuals") -> None:
+        """Accumulate another execution of the same operator object."""
+        self.rows_in += other.rows_in
+        self.rows_out += other.rows_out
+        self.io_bytes += other.io_bytes
+        self.io_accesses += other.io_accesses
+        self.io_seconds += other.io_seconds
+        self.cpu_seconds += other.cpu_seconds
+        self.reserved_bytes += other.reserved_bytes
+        self.executions += other.executions
 
     def summary(self) -> str:
         """One-line ``(actual ...)`` annotation for EXPLAIN ANALYZE."""
@@ -104,7 +125,31 @@ class OperatorActuals:
         parts.append(f"io={self.io_seconds * 1e3:.3f}ms")
         parts.append(f"cpu={self.cpu_seconds * 1e3:.3f}ms")
         parts.append(f"mem={self.reserved_bytes / 1e6:.3f}MB")
+        if self.executions > 1:
+            parts.append(f"execs={self.executions}")
         return "(actual " + " ".join(parts) + ")"
+
+
+def merge_operator_actuals(
+    merged: Dict[int, "OperatorActuals"],
+    operators: Dict[int, "OperatorActuals"],
+) -> None:
+    """Fold one execution's per-operator actuals into ``merged``.
+
+    Keys are operator identities (``id(op)``); a key already present
+    means the same operator object ran again in another fragment (shared
+    leaf/broadcast subtrees), so its charges are *accumulated* — never
+    overwritten, which silently dropped work and broke the
+    sum-to-totals invariant.  First occurrences are copied so the
+    merged entry never aliases (and later mutates) a per-fragment one."""
+    from dataclasses import replace
+
+    for key, actuals in operators.items():
+        existing = merged.get(key)
+        if existing is None:
+            merged[key] = replace(actuals)
+        else:
+            existing.absorb(actuals)
 
 
 @dataclass
@@ -133,6 +178,9 @@ class FragmentActuals:
     rows_out: int = 0
     output_bytes: float = 0.0     # exchanged result buffer size
     peak_memory_bytes: float = 0.0
+    #: real wall-clock seconds this fragment took on a measuring backend
+    #: (the process backend); 0.0 on purely simulated runs.
+    measured_seconds: float = 0.0
 
     @property
     def queue_wait_seconds(self) -> float:
@@ -147,12 +195,15 @@ class FragmentActuals:
 
     def summary(self) -> str:
         """One-line annotation for EXPLAIN ANALYZE fragment headers."""
-        return (
+        line = (
             f"(worker {self.worker} "
             f"start={self.start_seconds * 1e3:.3f}ms "
             f"busy={self.makespan_contribution_seconds * 1e3:.3f}ms "
-            f"wait={self.queue_wait_seconds * 1e3:.3f}ms)"
+            f"wait={self.queue_wait_seconds * 1e3:.3f}ms"
         )
+        if self.measured_seconds > 0.0:
+            line += f" measured={self.measured_seconds * 1e3:.3f}ms"
+        return line + ")"
 
 
 @dataclass
@@ -189,6 +240,15 @@ class ExecutionMetrics:
     makespan_seconds: float = 0.0
     #: per-fragment actuals of a parallel execution (empty when serial).
     fragments: List[FragmentActuals] = field(default_factory=list)
+    #: execution backend that produced these metrics ("simulated" — the
+    #: deterministic in-process scheduler — or "process").
+    backend: str = "simulated"
+    #: real wall-clock seconds of the whole execution on a measuring
+    #: backend (dispatch, IPC and the serial tail included); 0.0 on
+    #: purely simulated runs.  Lives *next to* the simulated charges —
+    #: it never feeds ``total_seconds``/``wall_seconds``, which stay
+    #: deterministic model outputs.
+    measured_wall_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:

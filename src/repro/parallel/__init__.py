@@ -8,7 +8,12 @@ one lowered physical plan into zone-/page-aligned plan fragments
 operators (:mod:`repro.parallel.exchange`) and runs them on *k*
 simulated workers under a deterministic dependency-aware scheduler
 (:mod:`repro.parallel.scheduler`) that reports wall clock as the
-makespan over worker timelines.
+makespan over worker timelines.  Where the fragments *actually* execute
+is a pluggable backend (:mod:`repro.parallel.backends`): in-process
+under the simulated scheduler (the default), or on a real
+``multiprocessing`` pool over shared-memory column exports
+(``ExecutionOptions(backend="process")``), which records measured
+wall clock next to the simulated charges.
 
 Results follow one of two explicit contracts (docs/execution-model.md):
 plans without a reordering exchange gather contiguous storage ranges in
@@ -23,6 +28,14 @@ gather in a deterministic *canonical* order instead and are
 normalized multisets by the oracle.
 """
 
+from .backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    SharedArrayStore,
+    SimulatedBackend,
+    create_backend,
+)
 from .exchange import Exchange, Repartition, UnionAll, concat_relations, rebin_ids
 from .fragments import (
     DEFAULT_MIN_PARTITION_ROWS,
@@ -35,6 +48,8 @@ from .scheduler import (
     FragmentWork,
     ScheduledFragment,
     concurrent_peak,
+    execute_fragments,
+    merge_parallel_metrics,
     run_parallel,
     simulate_schedule,
 )
@@ -53,6 +68,14 @@ __all__ = [
     "FragmentWork",
     "ScheduledFragment",
     "concurrent_peak",
+    "execute_fragments",
+    "merge_parallel_metrics",
     "run_parallel",
     "simulate_schedule",
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "SimulatedBackend",
+    "ProcessBackend",
+    "SharedArrayStore",
+    "create_backend",
 ]

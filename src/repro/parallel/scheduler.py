@@ -41,7 +41,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..execution.cost import CostModel
-from ..execution.metrics import ExecutionMetrics, FragmentActuals
+from ..execution.metrics import (
+    ExecutionMetrics,
+    FragmentActuals,
+    merge_operator_actuals,
+)
 from ..execution.operators import ExecutionContext
 from ..execution.relation import Relation
 from ..storage.io_model import DiskModel
@@ -52,6 +56,8 @@ __all__ = [
     "ScheduledFragment",
     "simulate_schedule",
     "concurrent_peak",
+    "execute_fragments",
+    "merge_parallel_metrics",
     "run_parallel",
 ]
 
@@ -195,23 +201,18 @@ def concurrent_peak(intervals: List[Tuple[float, float, float]]) -> float:
 
 
 # -------------------------------------------------------------- running
-def run_parallel(
+def execute_fragments(
     plan: ParallelPlan,
     disk: DiskModel,
     costs: CostModel,
-) -> Tuple[Relation, ExecutionMetrics]:
-    """Execute a fragmented plan on the simulated worker pool and return
-    the final fragment's relation plus the merged metrics.
-
-    Deterministic end to end: fragments run once in topological order
-    (results are exact and never recomputed), the schedule is the pure
-    list dispatch of :func:`simulate_schedule`, and the merged metrics
-    satisfy the invariants the tests pin — per-fragment exclusive
-    IO/CPU sums equal the query totals, ``makespan_seconds`` lies
-    between ``total_seconds / workers`` and ``total_seconds``, and peak
-    memory is the concurrent peak over fragment reservations plus every
-    exchanged (broadcast, partition gather, or rebin shuffle) producer
-    buffer held until its last consumer finishes."""
+) -> Tuple[Dict[int, Relation], Dict[int, ExecutionMetrics]]:
+    """The *run* stage: execute every fragment once, in topological
+    order, in the current process — producing exact results and each
+    fragment's charged (uncontended) metrics.  Backends that run
+    fragments elsewhere (``repro.parallel.backends.ProcessBackend``)
+    replace exactly this function; the *time* stage
+    (:func:`merge_parallel_metrics`) is shared so the simulated charges
+    are identical whichever backend produced the results."""
     results: Dict[int, Relation] = {}
     fragment_metrics: Dict[int, ExecutionMetrics] = {}
     for fragment in plan.fragments:  # topological by construction
@@ -222,7 +223,24 @@ def run_parallel(
         metrics.rows_produced = relation.num_rows
         results[fragment.index] = relation
         fragment_metrics[fragment.index] = metrics
+    return results, fragment_metrics
 
+
+def merge_parallel_metrics(
+    plan: ParallelPlan,
+    results: Dict[int, Relation],
+    fragment_metrics: Dict[int, ExecutionMetrics],
+    disk: DiskModel,
+) -> Tuple[Relation, ExecutionMetrics]:
+    """The *time* stage: place the executed fragments on the simulated
+    worker timelines (:func:`simulate_schedule`) and merge their metrics
+    into the query's.  Totals are sums over fragments; per-operator
+    actuals *accumulate* across fragments (fragmenting clones only the
+    spine, so a shared leaf/broadcast operator may have run several
+    times under the same identity — see
+    :func:`~repro.execution.metrics.merge_operator_actuals`); peak
+    memory is the concurrent peak over fragment reservations plus every
+    exchanged producer buffer held until its last consumer finishes."""
     works = [
         FragmentWork(
             index=f.index,
@@ -257,7 +275,7 @@ def run_parallel(
         for key, value in metrics.counters.items():
             merged.counters[key] = merged.counters.get(key, 0.0) + value
         merged.notes.extend(f"[f{fragment.index}] {note}" for note in metrics.notes)
-        merged.operators.update(metrics.operators)
+        merge_operator_actuals(merged.operators, metrics.operators)
         output_bytes = 0.0
         if consumers.get(fragment.index):
             output_bytes = relation.data_bytes()
@@ -288,3 +306,24 @@ def run_parallel(
     final = results[plan.final.index]
     merged.rows_produced = final.num_rows
     return final, merged
+
+
+def run_parallel(
+    plan: ParallelPlan,
+    disk: DiskModel,
+    costs: CostModel,
+) -> Tuple[Relation, ExecutionMetrics]:
+    """Execute a fragmented plan on the simulated worker pool and return
+    the final fragment's relation plus the merged metrics.
+
+    Deterministic end to end: fragments run once in topological order
+    (results are exact and never recomputed), the schedule is the pure
+    list dispatch of :func:`simulate_schedule`, and the merged metrics
+    satisfy the invariants the tests pin — per-fragment exclusive
+    IO/CPU sums equal the query totals, ``makespan_seconds`` lies
+    between ``total_seconds / workers`` and ``total_seconds``, and peak
+    memory is the concurrent peak over fragment reservations plus every
+    exchanged (broadcast, partition gather, or rebin shuffle) producer
+    buffer held until its last consumer finishes."""
+    results, fragment_metrics = execute_fragments(plan, disk, costs)
+    return merge_parallel_metrics(plan, results, fragment_metrics, disk)

@@ -9,8 +9,10 @@ The :class:`Executor` glues the layers of the engine together for one
   choice) resolved and recorded on the operators;
 * with ``options.workers > 1``, :func:`repro.parallel.plan_fragments`
   derives zone-/page-aligned partition fragments from that *same*
-  lowering (fragments never re-lower) and the deterministic scheduler
-  runs them on the simulated worker pool;
+  lowering (fragments never re-lower) and ``options.backend`` picks the
+  execution backend (:mod:`repro.parallel.backends`): the deterministic
+  simulated worker pool, or a real ``multiprocessing`` pool that
+  measures wall clock next to the simulated charges;
 * :mod:`repro.execution.operators` runs the plan, charging simulated
   IO/CPU time and tracking the peak of concurrently live operator
   memory (the paper's Figure 3 quantity).
@@ -34,8 +36,8 @@ from ..execution.cost import DEFAULT_COSTS, CostModel
 from ..execution.metrics import ExecutionMetrics, FragmentActuals
 from ..execution.operators import ExecutionContext
 from ..execution.relation import Relation
+from ..parallel.backends import ExecutionBackend, create_backend
 from ..parallel.fragments import ParallelPlan, plan_fragments
-from ..parallel.scheduler import run_parallel
 from ..schemes.base import PhysicalDatabase
 from ..storage.io_model import PAPER_SSD, DiskModel
 from .lowering import ExecutionOptions, PhysicalPlan, lower
@@ -67,6 +69,14 @@ class Executor:
         self.disk = disk or PAPER_SSD
         self.costs = costs or DEFAULT_COSTS
         self.options = options or ExecutionOptions()
+        #: metrics of the most recent execution; present from birth (an
+        #: empty ExecutionMetrics) so inspecting an executor before its
+        #: first run never raises.
+        self.metrics: ExecutionMetrics = ExecutionMetrics()
+        #: backend name -> instantiated backend; created lazily on the
+        #: first parallel run so serial executors never pay for (or
+        #: leak) a process pool.
+        self._backends: dict = {}
         #: (id(node), options key) -> (node, PhysicalPlan), LRU-ordered.
         #: Keyed by node *identity* (logical plans may hold unhashable
         #: expressions); the node is kept in the value so its id cannot
@@ -129,13 +139,41 @@ class Executor:
         return parallel
 
     # ------------------------------------------------------------ running
+    def backend(self) -> ExecutionBackend:
+        """The execution backend the options name (created lazily and
+        cached, so a process pool persists across this executor's
+        queries; see :meth:`close`)."""
+        name = self.options.backend
+        backend = self._backends.get(name)
+        if backend is None:
+            backend = create_backend(name)
+            self._backends[name] = backend
+        return backend
+
+    def close(self) -> None:
+        """Release backend resources (process pools, shared-memory
+        blocks).  Serial/simulated executors hold none; safe to call
+        repeatedly.  The executor stays usable — the next parallel run
+        simply recreates what it needs."""
+        for backend in self._backends.values():
+            backend.close()
+        self._backends = {}
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def run(self, pplan: PhysicalPlan) -> QueryResult:
         """Execute an already-lowered physical plan (parallel when the
         options ask for workers and the plan has a splittable scan)."""
         if self.options.workers > 1:
             parallel = self.parallel_plan(pplan)
             if parallel.is_parallel:
-                relation, metrics = run_parallel(parallel, self.disk, self.costs)
+                relation, metrics = self.backend().run(
+                    parallel, self.disk, self.costs
+                )
                 self.metrics = metrics
                 return QueryResult(relation, metrics)
         metrics = ExecutionMetrics()

@@ -17,7 +17,11 @@ switches to the *fragment* view: every plan fragment with its role
 (``partition`` / ``broadcast`` / ``source`` / ``copartition`` /
 ``final``), partition note and dependencies, and under ``analyze`` the
 scheduler's verdict per fragment — assigned worker, makespan
-contribution and queue wait — plus the makespan/speedup totals.  A
+contribution and queue wait — plus the makespan/speedup totals.  When
+the run used a measuring backend (``ExecutionOptions(backend="process")``)
+each fragment header additionally carries its measured wall clock
+(``measured=...ms``) and a ``measured:`` totals line sits under the
+simulated makespan, so modelled and real time read side by side.  A
 co-partitioned join renders its rebinning ``Repartition`` leaves and a
 ``UnionAll [... canonical order]`` gather, making the order-insensitive
 result contract visible in the plan text.
@@ -155,6 +159,14 @@ def format_parallel_plan(
                 metrics.parallel_speedup,
             )
         )
+        if metrics.measured_wall_seconds > 0.0:
+            # a measuring backend ran: show real wall clock next to the
+            # simulated makespan (per-fragment measured=...ms values sit
+            # in the headers above)
+            lines.append(
+                "measured: %.3f ms wall on the %s backend"
+                % (metrics.measured_wall_seconds * 1e3, metrics.backend)
+            )
     return "\n".join(lines)
 
 

@@ -124,13 +124,27 @@ class ExecutionOptions:
     #: ``enable_copartition``: the serial lowering is untouched, so the
     #: ablation is bit-identical to the serial plan by construction.
     enable_partial_agg: bool = True
+    #: where parallel fragments execute: "simulated" (in-process under
+    #: the deterministic scheduler) or "process" (a real
+    #: ``multiprocessing`` pool over shared-memory column exports; see
+    #: ``repro.parallel.backends``).  Results are bit-identical either
+    #: way; the process backend additionally records measured wall
+    #: clock.  Purely a runtime knob: it touches neither the lowering
+    #: nor the fragment plan.
+    backend: str = "simulated"
 
     #: fields that do not affect the lowered (serial) plan — they select
     #: the *fragment* plan derived from it, cached separately by the
     #: executor.  Excluded from ``cache_key`` so switching the worker
     #: count reuses the cached lowering and never re-lowers.
     _RUNTIME_ONLY = frozenset(
-        {"workers", "min_partition_rows", "enable_copartition", "enable_partial_agg"}
+        {
+            "workers",
+            "min_partition_rows",
+            "enable_copartition",
+            "enable_partial_agg",
+            "backend",
+        }
     )
 
     def cache_key(self, epoch: int = 0) -> tuple:

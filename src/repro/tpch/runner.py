@@ -77,6 +77,9 @@ class QueryRunner:
         merged.makespan_seconds += stage.makespan_seconds
         merged.workers = max(merged.workers, stage.workers)
         merged.fragments.extend(stage.fragments)
+        merged.measured_wall_seconds += stage.measured_wall_seconds
+        if stage.backend != "simulated":
+            merged.backend = stage.backend
 
 
 def run_query(
@@ -88,6 +91,9 @@ def run_query(
 ) -> tuple:
     """Run one query function; returns (QueryResult, merged metrics)."""
     executor = Executor(physical_db, disk=disk, costs=costs, options=options)
-    runner = QueryRunner(executor)
-    result = query(runner)
-    return result, runner.metrics
+    try:
+        runner = QueryRunner(executor)
+        result = query(runner)
+        return result, runner.metrics
+    finally:
+        executor.close()  # releases process-backend pools/shared memory

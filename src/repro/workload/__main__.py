@@ -54,6 +54,15 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
         ),
     )
     parser.add_argument(
+        "--backend", choices=("simulated", "process"), default="simulated",
+        help=(
+            "execution backend for the --workers sweep variants: 'simulated' "
+            "(in-process deterministic scheduler) or 'process' (a real "
+            "multiprocessing pool over shared-memory column exports); the "
+            "oracle holds both to the same result contracts"
+        ),
+    )
+    parser.add_argument(
         "--updates", type=int, default=0, metavar="ROUNDS",
         help=(
             "run the update-aware sweep instead: ROUNDS seeded insert/delete "
@@ -88,7 +97,11 @@ def main(argv: List[str] | None = None) -> int:
     variants = ablation_variants(full=args.variants == "all")
     if args.workers:
         counts = [int(n) for n in args.workers.split(",") if n.strip()]
-        variants.update(worker_count_variants([n for n in counts if n > 1]))
+        variants.update(
+            worker_count_variants(
+                [n for n in counts if n > 1], backend=args.backend
+            )
+        )
 
     repro_flags = f"--sf {args.sf} --datagen-seed {args.datagen_seed}"
     if args.updates > 0:

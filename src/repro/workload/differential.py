@@ -51,14 +51,26 @@ _SWITCHES = (
 _WORKER_COUNTS = (1, 2, 4)
 
 
-def worker_count_variants(counts: Sequence[int]) -> Dict[str, ExecutionOptions]:
+def worker_count_variants(
+    counts: Sequence[int], backend: str = "simulated"
+) -> Dict[str, ExecutionOptions]:
     """One ``workers-N`` variant per requested count (1 is the serial
     default and named so the report can point at the diverging count).
     Small scans still split under the sweep: the partition floor drops
     so tiny differential databases exercise the parallel machinery —
-    including co-partitioned sandwich joins, which are on by default."""
+    including co-partitioned sandwich joins, which are on by default.
+
+    With ``backend="process"`` the variants execute their fragments on
+    the real multiprocessing backend (named ``workers-N-process``) and
+    are held to exactly the same oracle as simulated parallel runs:
+    normalized multisets against the reference, and bit-for-bit against
+    the scheme's serial default run for plans without a reordering
+    exchange."""
+    suffix = "" if backend == "simulated" else f"-{backend}"
     return {
-        f"workers-{n}": ExecutionOptions(workers=n, min_partition_rows=256)
+        f"workers-{n}{suffix}": ExecutionOptions(
+            workers=n, min_partition_rows=256, backend=backend
+        )
         for n in counts
     }
 
@@ -420,14 +432,19 @@ def run_differential(
     }
     report = WorkloadReport(seed=seed, queries=num_queries)
 
-    for index in range(num_queries):
-        query = generator.generate(seed, index)
-        _check_one_query(report, executors, db, query, repro_flags)
-        if report.divergences and fail_fast:
-            return report
-        if progress is not None:
-            progress(index + 1, num_queries)
-    return report
+    try:
+        for index in range(num_queries):
+            query = generator.generate(seed, index)
+            _check_one_query(report, executors, db, query, repro_flags)
+            if report.divergences and fail_fast:
+                return report
+            if progress is not None:
+                progress(index + 1, num_queries)
+        return report
+    finally:
+        # process-backend variants hold worker pools and shared memory
+        for executor in executors.values():
+            executor.close()
 
 
 def _check_one_query(
@@ -618,28 +635,35 @@ def run_update_differential(
     )
     report = WorkloadReport(seed=seed, queries=rounds * queries_per_round)
 
-    for round_index in range(rounds):
-        batch = update_generator.generate(seed, round_index)
-        for table, rows in batch.inserts:
-            session.insert_rows(table, rows)
-        for table, predicate in batch.deletes:
-            session.delete_where(table, predicate)
-        result = session.commit()
-        report.commits += 1
-        report.rows_inserted += sum(result.inserted.values())
-        report.rows_deleted += sum(result.deleted.values())
-        report.compactions += sum(1 for c in result.changes if c.compacted)
-        if round_index == 0 and batch.is_insert_only and not result.compacted_tables():
-            _append_second_reference(report, physical_dbs, batch, repro_flags)
-        if report.divergences and fail_fast:
-            return report
-
-        for q in range(queries_per_round):
-            query = plan_generator.generate(seed, round_index * queries_per_round + q)
-            query.description += f" (after {batch.description})"
-            _check_one_query(report, executors, db, query, repro_flags)
+    try:
+        for round_index in range(rounds):
+            batch = update_generator.generate(seed, round_index)
+            for table, rows in batch.inserts:
+                session.insert_rows(table, rows)
+            for table, predicate in batch.deletes:
+                session.delete_where(table, predicate)
+            result = session.commit()
+            report.commits += 1
+            report.rows_inserted += sum(result.inserted.values())
+            report.rows_deleted += sum(result.deleted.values())
+            report.compactions += sum(1 for c in result.changes if c.compacted)
+            if round_index == 0 and batch.is_insert_only and not result.compacted_tables():
+                _append_second_reference(report, physical_dbs, batch, repro_flags)
             if report.divergences and fail_fast:
                 return report
-        if progress is not None:
-            progress(round_index + 1, rounds)
-    return report
+
+            for q in range(queries_per_round):
+                query = plan_generator.generate(
+                    seed, round_index * queries_per_round + q
+                )
+                query.description += f" (after {batch.description})"
+                _check_one_query(report, executors, db, query, repro_flags)
+                if report.divergences and fail_fast:
+                    return report
+            if progress is not None:
+                progress(round_index + 1, rounds)
+        return report
+    finally:
+        # process-backend variants hold worker pools and shared memory
+        for executor in executors.values():
+            executor.close()

@@ -63,9 +63,13 @@ class TestExplain:
         assert "scheme: bdcc" in text
         assert "decisions:" in text
         assert "pushdown" in text
-        # no execution happened: explain is lowering + rendering only
+        # no execution happened: explain is lowering + rendering only.
+        # executor.metrics exists from construction (inspecting it must
+        # never raise) but is still the untouched empty record.
         assert "cost:" not in text
-        assert not hasattr(executor, "metrics")
+        assert executor.metrics.total_seconds == 0.0
+        assert executor.metrics.rows_produced == 0
+        assert not executor.metrics.operators
 
     def test_explain_analyze_runs_and_reports_costs(self, bdcc_db, environment):
         executor = Executor(bdcc_db, disk=environment.disk, costs=environment.cost_model)
