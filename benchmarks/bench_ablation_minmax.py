@@ -60,4 +60,17 @@ def test_minmax_ablation(benchmark, mode, bench_pdbs, bench_env):
             "zone maps prune under BDCC (clustering creates locality) and "
             "are inert on plain storage"
         )
-        write_report("ablation_minmax", "\n".join(lines))
+        write_report(
+            "ablation_minmax",
+            "\n".join(lines),
+            data={
+                "queries": QUERY_SET,
+                "modes": {
+                    mode_name: {
+                        qname: {"seconds": s, "io_bytes": b}
+                        for qname, (s, b) in per_query.items()
+                    }
+                    for mode_name, per_query in _rows.items()
+                },
+            },
+        )

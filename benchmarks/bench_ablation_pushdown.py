@@ -57,4 +57,17 @@ def test_pushdown_ablation(benchmark, mode, bench_pdbs, bench_env):
             lines.append(
                 f"{mode_name:<14}{t['seconds'] * 1e3:10.3f}{t['io_bytes'] / 1e6:10.3f}"
             )
-        write_report("ablation_pushdown", "\n".join(lines))
+        write_report(
+            "ablation_pushdown",
+            "\n".join(lines),
+            data={
+                "queries": QUERY_SET,
+                "modes": {
+                    mode_name: {
+                        "seconds": t["seconds"],
+                        "io_bytes": t["io_bytes"],
+                    }
+                    for mode_name, t in _rows.items()
+                },
+            },
+        )

@@ -52,4 +52,17 @@ def test_sandwich_ablation(benchmark, mode, bench_pdbs, bench_env):
                 f"{qname:<6}{s_on * 1e3:10.3f}{s_off * 1e3:10.3f}"
                 f"{m_on / 1e6:10.4f}{m_off / 1e6:10.4f}"
             )
-        write_report("ablation_sandwich", "\n".join(lines))
+        write_report(
+            "ablation_sandwich",
+            "\n".join(lines),
+            data={
+                "queries": QUERY_SET,
+                "modes": {
+                    mode_name: {
+                        qname: {"seconds": s, "peak_memory_bytes": m}
+                        for qname, (s, m) in per_query.items()
+                    }
+                    for mode_name, per_query in _rows.items()
+                },
+            },
+        )

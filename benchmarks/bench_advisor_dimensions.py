@@ -33,9 +33,15 @@ def test_advisor_dimensions(benchmark, bench_db, bench_env):
         f"(SF={bench_env.scale_factor})",
         f"{'dimension':<10}{'bits(paper)':>12}{'bits(ours)':>12}  host/key",
     ]
+    dimensions = {}
     for name, bits, table, key in sorted(design.describe_dimensions()):
         paper_bits, paper_table, paper_key = PAPER_ROWS[name]
         assert table == paper_table and key == paper_key
         lines.append(f"{name:<10}{paper_bits:>12}{bits:>12}  {table}({key})")
         benchmark.extra_info[name] = bits
-    write_report("advisor_dimensions", "\n".join(lines))
+        dimensions[name] = {
+            "bits": bits, "paper_bits": paper_bits, "table": table, "key": key,
+        }
+    write_report(
+        "advisor_dimensions", "\n".join(lines), data={"dimensions": dimensions}
+    )

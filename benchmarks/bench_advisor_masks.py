@@ -62,4 +62,19 @@ def test_advisor_masks(benchmark, bench_db, bench_env):
             f"groups={bdcc.count_table.num_groups}"
         )
     benchmark.extra_info["paper_masks_matched"] = matched
-    write_report("advisor_masks", "\n".join(lines))
+    write_report(
+        "advisor_masks",
+        "\n".join(lines),
+        data={
+            "paper_masks_matched": matched,
+            "paper_masks_total": len(PAPER_TABLE),
+            "built_tables": {
+                name: {
+                    "total_bits": bdcc.total_bits,
+                    "granularity": bdcc.granularity,
+                    "groups": bdcc.count_table.num_groups,
+                }
+                for name, bdcc in built.items()
+            },
+        },
+    )

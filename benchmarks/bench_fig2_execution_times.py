@@ -63,4 +63,21 @@ def _report(bench_env):
         "measured ratios:  plain/bdcc %.2fx (paper 2.22x)   pk/bdcc %.2fx (paper 1.73x)"
         % (totals["plain"] / totals["bdcc"], totals["pk"] / totals["bdcc"])
     )
-    write_report("fig2_execution_times", "\n".join(lines))
+    write_report(
+        "fig2_execution_times",
+        "\n".join(lines),
+        data={
+            "paper_totals_s_sf100": PAPER_TOTALS,
+            "per_query_seconds": {
+                s: {
+                    q: m.seconds for q, m in _results[s].measurements.items()
+                }
+                for s in _results
+            },
+            "total_seconds": totals,
+            "ratios": {
+                "plain_over_bdcc": totals["plain"] / totals["bdcc"],
+                "pk_over_bdcc": totals["pk"] / totals["bdcc"],
+            },
+        },
+    )

@@ -72,4 +72,28 @@ def _report(bench_env):
             plain.max_peak_memory / max(bdcc.max_peak_memory, 1),
         )
     )
-    write_report("fig3_memory", "\n".join(lines))
+    write_report(
+        "fig3_memory",
+        "\n".join(lines),
+        data={
+            "paper_sf100": PAPER,
+            "per_query_peak_bytes": {
+                s: {
+                    q: m.peak_memory_bytes
+                    for q, m in _results[s].measurements.items()
+                }
+                for s in _results
+            },
+            "total_peak_bytes": {
+                s: _results[s].total_peak_memory for s in _results
+            },
+            "ratios": {
+                "total_plain_over_bdcc":
+                    plain.total_peak_memory / max(bdcc.total_peak_memory, 1),
+                "avg_plain_over_bdcc":
+                    plain.avg_peak_memory / max(bdcc.avg_peak_memory, 1),
+                "peak_plain_over_bdcc":
+                    plain.max_peak_memory / max(bdcc.max_peak_memory, 1),
+            },
+        },
+    )

@@ -44,6 +44,7 @@ def test_paper_lineitem_20_bits(benchmark):
         "granularity_paper_rule",
         "LINEITEM at SF100: densest column 550000 x 32KB pages -> "
         f"Algorithm 1 picks b = {chosen} bits (paper: 20)",
+        data={"chosen_bits": chosen, "paper_bits": 20},
     )
 
 
@@ -72,4 +73,13 @@ def test_granularity_sweep(benchmark, bench_db, bench_env):
         lines.append(f"{factor:9.2f}{bits:8d}{groups:9d}")
     granularities = [bits for _, bits, _ in rows]
     assert granularities == sorted(granularities, reverse=True)
-    write_report("granularity_sweep", "\n".join(lines))
+    write_report(
+        "granularity_sweep",
+        "\n".join(lines),
+        data={
+            "sweep": [
+                {"access_over_page": factor, "bits": bits, "groups": groups}
+                for factor, bits, groups in rows
+            ],
+        },
+    )

@@ -34,6 +34,7 @@ Usable standalone (CI runs ``python benchmarks/bench_parallel_speedup.py
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import pathlib
 import sys
@@ -43,6 +44,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np  # noqa: E402
 
+from repro.observe import SCHEMA_VERSION  # noqa: E402
 from repro.planner.executor import ExecutionOptions, Executor  # noqa: E402
 from repro.tpch.datagen import generate  # noqa: E402
 from repro.tpch.environment import make_environment  # noqa: E402
@@ -107,7 +109,8 @@ def _identical(a, b):
     return True
 
 
-def validate_backends(pdb, env, lines, failures, repeats=VALIDATION_REPEATS):
+def validate_backends(pdb, env, lines, failures, repeats=VALIDATION_REPEATS,
+                      data=None):
     """Run the validation queries on the process backend and regress the
     simulated makespans against the measured wall clocks.
 
@@ -170,6 +173,18 @@ def validate_backends(pdb, env, lines, failures, repeats=VALIDATION_REPEATS):
                 measured = proc_metrics.measured_wall_seconds
                 speedup = serial_walls[qname] / proc_wall
                 points.append((sim_metrics.makespan_seconds, measured))
+                if data is not None:
+                    data["validation"].append(
+                        {
+                            "query": qname,
+                            "workers": workers,
+                            "simulated_makespan_seconds": sim_metrics.makespan_seconds,
+                            "measured_wall_seconds": measured,
+                            "best_wall_seconds": proc_wall,
+                            "measured_speedup": speedup,
+                            "identical": identical,
+                        }
+                    )
                 lines.append(
                     f"{qname:<8}{workers:>3}"
                     f"{sim_metrics.makespan_seconds * 1e3:>17.3f}"
@@ -190,6 +205,8 @@ def validate_backends(pdb, env, lines, failures, repeats=VALIDATION_REPEATS):
     measured = np.array([p[1] for p in points])
     if len(points) >= 2 and simulated.std() > 0 and measured.std() > 0:
         r = float(np.corrcoef(simulated, measured)[0, 1])
+        if data is not None:
+            data["pearson_r"] = r
         lines.append(
             f"simulated-makespan vs measured-wall Pearson r = {r:.3f} "
             f"over {len(points)} parallel plans"
@@ -205,7 +222,7 @@ def validate_backends(pdb, env, lines, failures, repeats=VALIDATION_REPEATS):
         )
 
 
-def run(scale_factor: float, seed: int) -> int:
+def run(scale_factor: float, seed: int, json_mode: bool = False) -> int:
     print(f"generating TPC-H SF={scale_factor} (seed {seed}) ...", file=sys.stderr)
     db = generate(scale_factor=scale_factor, seed=seed)
     env = make_environment(scale_factor)
@@ -218,6 +235,20 @@ def run(scale_factor: float, seed: int) -> int:
         f"{'query':<14}" + "".join(f"{f'w={w} wall':>12}{f'w={w} x':>9}" for w in WORKER_COUNTS),
     ]
     failures = []
+    # the structured twin of the text report; written next to the .txt
+    # and printed instead of it under --json
+    data = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "bench_parallel_speedup",
+        "scale_factor": scale_factor,
+        "seed": seed,
+        "disk_streams": streams,
+        "cores": os.cpu_count() or 1,
+        "worker_counts": list(WORKER_COUNTS),
+        "queries": {},
+        "validation": [],
+        "pearson_r": None,
+    }
 
     def check_monotone(qname, spans):
         counts = list(WORKER_COUNTS)
@@ -237,6 +268,11 @@ def run(scale_factor: float, seed: int) -> int:
                 f"{serial_total / spans[workers]:9.2f}"
             )
         lines.append(row)
+        data["queries"][label] = {
+            "serial_total_seconds": serial_total,
+            "makespan_seconds": {str(w): spans[w] for w in WORKER_COUNTS},
+            "speedup": {str(w): serial_total / spans[w] for w in WORKER_COUNTS},
+        }
 
     for qname in SCAN_QUERIES:
         spans, serial_total = _makespans(pdb, env, qname)
@@ -293,13 +329,18 @@ def run(scale_factor: float, seed: int) -> int:
                 f"broadcast-only path ({broadcast_x:.2f}x) at 4 workers"
             )
 
-    validate_backends(pdb, env, lines, failures)
+    validate_backends(pdb, env, lines, failures, data=data)
 
+    data["failures"] = list(failures)
+    data["ok"] = not failures
     report = "\n".join(lines)
-    print(report)
     results_dir = pathlib.Path(__file__).parent / "results"
     results_dir.mkdir(exist_ok=True)
     (results_dir / "parallel_speedup.txt").write_text(report + "\n")
+    (results_dir / "parallel_speedup.json").write_text(
+        json.dumps(data, sort_keys=True, indent=2) + "\n"
+    )
+    print(json.dumps(data, sort_keys=True, indent=2) if json_mode else report)
     if failures:
         print("\nFAIL:\n" + "\n".join(f"  - {f}" for f in failures), file=sys.stderr)
         return 1
@@ -315,11 +356,16 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--sf", type=float, default=None)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the structured JSON report instead of the text table "
+             "(both forms are always written to benchmarks/results/)",
+    )
     args = parser.parse_args(argv)
     scale_factor = args.sf
     if scale_factor is None:
         scale_factor = 0.01 if args.smoke else float(os.environ.get("REPRO_SF", "0.02"))
-    return run(scale_factor, args.seed)
+    return run(scale_factor, args.seed, json_mode=args.json)
 
 
 if __name__ == "__main__":

@@ -59,4 +59,18 @@ def test_replication(benchmark, mode, bench_db, bench_env):
         assert _rows["with-part-replica"][1] == pytest.approx(
             _rows["single-copy"][1], rel=1e-6
         )
-        write_report("replication", "\n".join(lines))
+        write_report(
+            "replication",
+            "\n".join(lines),
+            data={
+                "part_queries": sorted(PART_QUERIES),
+                "date_queries": sorted(DATE_QUERIES),
+                "modes": {
+                    mode_name: {
+                        "part_queries_seconds": p,
+                        "date_queries_seconds": d,
+                    }
+                    for mode_name, (p, d) in _rows.items()
+                },
+            },
+        )

@@ -52,4 +52,18 @@ def test_sandwich_bits(benchmark, bits, bench_pdbs, bench_env):
             lines.append(f"{bits_value:>5}{s * 1e3:10.3f}{m / 1e6:13.4f}")
         memories = [_rows[b][1] for b in BITS]
         assert memories[0] >= memories[-1]  # more bits, less memory
-        write_report("sandwich_bits_sweep", "\n".join(lines))
+        write_report(
+            "sandwich_bits_sweep",
+            "\n".join(lines),
+            data={
+                "queries": QUERY_SET,
+                "sweep": [
+                    {
+                        "bits": bits_value,
+                        "seconds": _rows[bits_value][0],
+                        "sum_peak_bytes": _rows[bits_value][1],
+                    }
+                    for bits_value in BITS
+                ],
+            },
+        )

@@ -16,6 +16,7 @@ Usable standalone (CI runs ``python benchmarks/bench_update_throughput.py
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
@@ -23,6 +24,7 @@ import numpy as np
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
+from repro.observe import SCHEMA_VERSION  # noqa: E402
 from repro.tpch.datagen import generate  # noqa: E402
 from repro.tpch.environment import make_environment  # noqa: E402
 from repro.tpch.harness import build_schemes  # noqa: E402
@@ -60,7 +62,7 @@ def _grow_delta(db, pdbs, rng, lineitem_rows):
     session.commit()
 
 
-def run(scale_factor: float, seed: int) -> int:
+def run(scale_factor: float, seed: int, json_mode: bool = False) -> int:
     print(f"generating TPC-H SF={scale_factor} (seed {seed}) ...", file=sys.stderr)
     db = generate(scale_factor=scale_factor, seed=seed)
     env = make_environment(scale_factor)
@@ -127,7 +129,32 @@ def run(scale_factor: float, seed: int) -> int:
     text = "\n".join(lines)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "update_refresh.txt").write_text(text + "\n")
-    print(text)
+    data = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "bench_update_throughput",
+        "scale_factor": scale_factor,
+        "seed": seed,
+        "probes": list(PROBES),
+        "stages": {
+            stage: {
+                f"{scheme}/{qname}": values[(scheme, qname)]
+                for scheme in schemes
+                for qname in PROBES
+            }
+            for stage, values in stages.items()
+        },
+        "compaction_seconds": {s: compaction_ms[s] / 1e3 for s in schemes},
+        "restore_target": RESTORE_TARGET,
+        "failures": [
+            {"scheme": s, "query": q, "compacted_seconds": c, "limit_seconds": l}
+            for s, q, c, l in failures
+        ],
+        "ok": not failures,
+    }
+    (RESULTS_DIR / "update_refresh.json").write_text(
+        json.dumps(data, sort_keys=True, indent=2) + "\n"
+    )
+    print(json.dumps(data, sort_keys=True, indent=2) if json_mode else text)
     if failures:
         print(f"\nFAIL: compaction restored < {RESTORE_TARGET:.0%} of clean speed "
               f"for {failures}", file=sys.stderr)
@@ -145,9 +172,14 @@ def main() -> int:
         "--smoke", action="store_true",
         help="small scale factor for CI (overrides --sf)",
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the structured JSON report instead of the text table "
+             "(both forms are always written to benchmarks/results/)",
+    )
     args = parser.parse_args()
     sf = 0.004 if args.smoke else args.sf
-    return run(sf, args.seed)
+    return run(sf, args.seed, json_mode=args.json)
 
 
 if __name__ == "__main__":

@@ -94,4 +94,19 @@ def test_workload_pruning(benchmark, mode, bench_db, bench_env):
             "pruning to the date-dominated workload keeps D_DATE + customer "
             "D_NATION; part-side queries lose their acceleration"
         )
-        write_report("workload_pruning", "\n".join(lines))
+        write_report(
+            "workload_pruning",
+            "\n".join(lines),
+            data={
+                "date_queries": sorted(DATE_QUERIES),
+                "part_queries": sorted(PART_QUERIES),
+                "modes": {
+                    mode_name: {
+                        "lineitem_uses": u,
+                        "date_queries_seconds": d,
+                        "part_queries_seconds": p,
+                    }
+                    for mode_name, (u, d, p) in _rows.items()
+                },
+            },
+        )

@@ -6,12 +6,14 @@ appended to ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
 import pytest
 
 from repro import tpch
+from repro.observe import SCHEMA_VERSION
 from repro.tpch.environment import make_environment
 from repro.tpch.harness import build_schemes
 
@@ -36,8 +38,21 @@ def bench_pdbs(bench_db, bench_env):
     return build_schemes(bench_db, bench_env)
 
 
-def write_report(name: str, text: str) -> None:
-    """Print a paper-style table and persist it under results/."""
+def write_report(name: str, text: str, data: dict | None = None) -> None:
+    """Print a paper-style table and persist it under results/.  With
+    ``data`` a structured JSON twin is written next to the .txt, so the
+    perf trajectory is machine-readable (``results/{name}.json``)."""
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if data is not None:
+        document = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": name,
+            "scale_factor": BENCH_SF,
+            "seed": BENCH_SEED,
+            **data,
+        }
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(document, sort_keys=True, indent=2) + "\n"
+        )
     print(f"\n===== {name} =====\n{text}\n")

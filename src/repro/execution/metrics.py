@@ -35,12 +35,12 @@ class MemoryReservation:
     def grow(self, extra_bytes: float) -> None:
         if self._released:
             raise RuntimeError("reservation already released")
-        self._tracker._grow(extra_bytes)
+        self._tracker._grow(extra_bytes, self.tag)
         self.num_bytes += extra_bytes
 
     def release(self) -> None:
         if not self._released:
-            self._tracker._release(self.num_bytes)
+            self._tracker._release(self.num_bytes, self.tag)
             self._released = True
 
     def __enter__(self) -> "MemoryReservation":
@@ -51,26 +51,41 @@ class MemoryReservation:
 
 
 class MemoryTracker:
-    """Tracks current and peak live bytes across operators."""
+    """Tracks current and peak live bytes, overall and per tag.
+
+    The overall peak (``peak_bytes``) is the Figure 3 quantity; the
+    per-tag current/peak pairs attribute it — which kind of blocking
+    state (hash build, aggregation table, sort buffer, exchange buffer)
+    was live when memory crested.  Tag peaks are each tag's own maximum
+    of concurrently live bytes, so they need not sum to ``peak_bytes``
+    (different tags can peak at different times).  Surfaced by
+    ``explain(analyze=True)`` and the query-log records."""
 
     def __init__(self) -> None:
         self.current_bytes = 0.0
         self.peak_bytes = 0.0
-        self.allocations: List[Dict] = []
+        #: tag -> currently live bytes under that tag.
+        self.tag_current: Dict[str, float] = {}
+        #: tag -> that tag's own peak of concurrently live bytes.
+        self.tag_peaks: Dict[str, float] = {}
 
     def allocate(self, tag: str, num_bytes: float) -> MemoryReservation:
         reservation = MemoryReservation(self, tag, 0.0)
         reservation.grow(float(num_bytes))
-        self.allocations.append({"tag": tag, "bytes": float(num_bytes)})
         return reservation
 
-    def _grow(self, num_bytes: float) -> None:
+    def _grow(self, num_bytes: float, tag: str) -> None:
         self.current_bytes += num_bytes
         if self.current_bytes > self.peak_bytes:
             self.peak_bytes = self.current_bytes
+        current = self.tag_current.get(tag, 0.0) + num_bytes
+        self.tag_current[tag] = current
+        if current > self.tag_peaks.get(tag, 0.0):
+            self.tag_peaks[tag] = current
 
-    def _release(self, num_bytes: float) -> None:
+    def _release(self, num_bytes: float, tag: str) -> None:
         self.current_bytes -= num_bytes
+        self.tag_current[tag] = self.tag_current.get(tag, 0.0) - num_bytes
 
 
 @dataclass
@@ -181,6 +196,11 @@ class FragmentActuals:
     #: real wall-clock seconds this fragment took on a measuring backend
     #: (the process backend); 0.0 on purely simulated runs.
     measured_seconds: float = 0.0
+    #: measured wall-clock *positions* relative to the run's start (the
+    #: process backend's timeline — what the trace exporter renders as
+    #: the measured lane set); both 0.0 on purely simulated runs.
+    measured_start_seconds: float = 0.0
+    measured_end_seconds: float = 0.0
 
     @property
     def queue_wait_seconds(self) -> float:

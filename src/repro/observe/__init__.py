@@ -1,0 +1,55 @@
+"""Structured observability: spans, traces, query logs, metrics registry.
+
+The eighth pillar.  Everything else in the engine produces *numbers*
+(simulated charges, measured walls, counters); this package makes them
+*machine-readable and replayable* without perturbing them — tracing is
+passive by construction, so simulated charges and results are
+bit-identical with observability on or off:
+
+* :mod:`repro.observe.spans` — nested span model over both clocks
+  (wall-measured planning phases, metrics-derived simulated timelines);
+* :mod:`repro.observe.trace_events` — Chrome trace-event (Perfetto)
+  export of scheduler timelines: workers as lanes, fragments as slices,
+  IO contention as sub-slices, exchanges as flow arrows;
+* :mod:`repro.observe.query_log` — schema-versioned JSONL records, one
+  per execution, with a validator; the same record shape backs the
+  CLIs' ``--json`` modes and the structured benchmark reports;
+* :mod:`repro.observe.registry` — process-wide counters/gauges (cache
+  hits, compactions, epoch bumps) snapshotted into every record.
+
+``python -m repro.observe FILE...`` validates emitted trace files and
+JSONL logs (the CI ``observe`` job gate).  See ``docs/observability.md``.
+"""
+
+from .query_log import (
+    SCHEMA_VERSION,
+    QueryLog,
+    build_record,
+    plan_fingerprint,
+    read_records,
+    record_errors,
+    validate_record,
+)
+from .registry import REGISTRY, MetricsRegistry
+from .spans import Span, SpanTracer, fragment_spans, operator_spans, query_span
+from .trace_events import TraceBuilder, validate_trace, validate_trace_events
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "QueryLog",
+    "build_record",
+    "plan_fingerprint",
+    "read_records",
+    "record_errors",
+    "validate_record",
+    "REGISTRY",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+    "fragment_spans",
+    "operator_spans",
+    "query_span",
+    "TraceBuilder",
+    "validate_trace",
+    "validate_trace_events",
+]

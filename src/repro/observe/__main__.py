@@ -1,0 +1,85 @@
+"""Validate observability artifacts: ``python -m repro.observe FILE...``.
+
+Accepts any mix of:
+
+* Chrome trace-event JSON files (as written by ``--trace FILE`` or
+  :class:`~repro.observe.trace_events.TraceBuilder.write`);
+* JSONL query logs (``--query-log FILE``), every line validated against
+  the record schema;
+* ``--json`` CLI output documents (an object with a ``records`` list).
+
+Prints one summary line per file and exits non-zero if anything is
+invalid — the CI ``observe`` job runs this over every artifact it
+emits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from .query_log import read_records, record_errors
+from .trace_events import validate_trace
+
+__all__ = ["main"]
+
+
+def _validate_file(path: str) -> List[str]:
+    if path.endswith(".jsonl"):
+        records = read_records(path)
+        if not records:
+            return ["no records"]
+        errors: List[str] = []
+        for line_number, record in enumerate(records, start=1):
+            errors.extend(
+                f"line {line_number}: {error}" for error in record_errors(record)
+            )
+        return errors
+    with open(path) as fh:
+        document = json.load(fh)
+    if isinstance(document, dict) and "traceEvents" in document:
+        errors = validate_trace(document)
+        if not errors and not document["traceEvents"]:
+            errors = ["no trace events"]
+        return errors
+    if isinstance(document, dict) and "records" in document:
+        if not document["records"]:
+            return ["no records"]
+        errors = []
+        for position, record in enumerate(document["records"]):
+            errors.extend(
+                f"records[{position}]: {error}" for error in record_errors(record)
+            )
+        return errors
+    return ["unrecognised document: neither a trace nor a record collection"]
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observe",
+        description="Validate trace-event JSON and JSONL query-log files.",
+    )
+    parser.add_argument("files", nargs="+", help="artifacts to validate")
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    failed = False
+    for path in args.files:
+        try:
+            errors = _validate_file(path)
+        except (OSError, json.JSONDecodeError) as exc:
+            errors = [str(exc)]
+        if errors:
+            failed = True
+            print(f"{path}: INVALID")
+            for error in errors[:20]:
+                print(f"  - {error}")
+            if len(errors) > 20:
+                print(f"  ... and {len(errors) - 20} more")
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

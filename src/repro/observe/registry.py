@@ -1,0 +1,71 @@
+"""Process-wide metrics registry: named counters and gauges.
+
+:class:`ExecutionMetrics` accounts one query execution; the registry
+accounts the *process* — cache effectiveness, update churn, delta
+volume — so a query-log record can situate each execution in the state
+the engine had reached when it ran.  Producers bump the module-level
+:data:`REGISTRY` (the executor's plan/fragment caches, the update
+session's epoch bumps, the compactor); consumers snapshot it into every
+query-log record (:func:`repro.observe.query_log.build_record`).
+
+Counters are monotone floats; gauges are last-write-wins.  The registry
+is intentionally dumb — plain dicts, no locks (CPython dict ops are
+atomic enough for the single-threaded engine; pool workers run in their
+own processes and never see the parent's registry), no export loop.
+
+Counter names in use:
+
+====================== =================================================
+``plan_cache.hits``    executor plan-cache hits (lowering reused)
+``plan_cache.misses``  ... misses (a fresh lowering ran)
+``fragment_cache.hits``   fragment-plan cache hits
+``fragment_cache.misses`` ... misses (the fragmenting pass ran)
+``queries_executed``   plans run through ``Executor.run``
+``delta_rows_scanned`` merge-on-read rows served from delta runs
+``commits``            update-session commits applied
+``epochs_bumped``      stored-table epoch bumps (commit or compaction)
+``compactions``        delta stores folded back into base layouts
+====================== =================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["MetricsRegistry", "REGISTRY"]
+
+
+class MetricsRegistry:
+    """Named monotone counters plus last-write-wins gauges."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Bump a counter (created at zero on first sight)."""
+        self.counters[name] = self.counters.get(name, 0.0) + float(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        if name in self.counters:
+            return self.counters[name]
+        return self.gauges.get(name, default)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """A deep copy safe to embed in a query-log record."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }
+
+    def reset(self) -> None:
+        """Forget everything (tests; never called by the engine)."""
+        self.counters = {}
+        self.gauges = {}
+
+
+#: the process-wide registry every engine component reports into.
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,276 @@
+"""Chrome trace-event (Perfetto) export of execution timelines.
+
+Renders :class:`~repro.execution.metrics.ExecutionMetrics` fragment
+timelines as `Trace Event Format`_ JSON that loads directly into
+https://ui.perfetto.dev or ``chrome://tracing``:
+
+* **workers are lanes** — each simulated worker is one thread (``tid``)
+  of the ``simulated`` process; lane 0 (``queries``) carries one slice
+  per execution so query boundaries stay visible;
+* **fragments are slices** — complete (``"X"``) events positioned by the
+  scheduler's ``start``/``end``, with the fragment's role, rows,
+  charged IO/CPU and memory in ``args``;
+* **IO contention is a sub-slice** — the IO phase (``start`` →
+  ``io_end``) nests inside its fragment slice and reports the
+  *stretch*: scheduled IO window minus charged (uncontended) IO
+  seconds, i.e. exactly the time lost to disk-stream sharing;
+* **exchanges are flow events** — every ``depends_on`` edge becomes an
+  ``"s"``/``"f"`` flow pair from the producer's end to the consumer's
+  start, so Perfetto draws the dataflow arrows across lanes;
+* **the measured timeline is a second process** — when the process
+  backend ran, fragments carry measured wall positions and the same
+  structure renders again under a ``measured (process backend)``
+  process, so modelled and real timelines sit one above the other.
+
+Multiple executions accumulate into one :class:`TraceBuilder`; each is
+shifted to its own time window so a whole suite reads left-to-right.
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..execution.metrics import ExecutionMetrics
+
+__all__ = ["TraceBuilder", "validate_trace_events", "validate_trace"]
+
+_US = 1e6          # seconds -> trace microseconds
+_QUERY_GAP_US = 50.0  # horizontal gap between consecutive executions
+
+#: lane 0 is the per-process query overview lane; worker w sits at w+1.
+_QUERY_LANE = 0
+
+
+class TraceBuilder:
+    """Accumulates executions into one Chrome trace-event document."""
+
+    def __init__(self) -> None:
+        self.events: List[dict] = []
+        self._pids: Dict[str, int] = {}
+        self._named_threads: set = set()
+        self._origin_us: Dict[int, float] = {}
+        self._flow_id = 0
+
+    # ---------------------------------------------------------- plumbing
+    def _pid(self, process: str) -> int:
+        pid = self._pids.get(process)
+        if pid is None:
+            pid = len(self._pids) + 1
+            self._pids[process] = pid
+            self.events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": process},
+                }
+            )
+        return pid
+
+    def _thread(self, pid: int, tid: int, name: str) -> None:
+        if (pid, tid) not in self._named_threads:
+            self._named_threads.add((pid, tid))
+            self.events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": name},
+                }
+            )
+
+    def _slice(self, pid, tid, name, cat, ts, dur, args=None) -> None:
+        self.events.append(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": ts,
+                "dur": max(dur, 0.0),
+                "args": args or {},
+            }
+        )
+
+    def _flow(self, pid, src_tid, dst_tid, src_ts, dst_ts) -> None:
+        self._flow_id += 1
+        common = {"name": "exchange", "cat": "exchange", "id": self._flow_id, "pid": pid}
+        self.events.append({**common, "ph": "s", "tid": src_tid, "ts": src_ts})
+        # bp="e" binds the arrow to the enclosing slice at the arrival
+        # timestamp instead of the next slice start
+        self.events.append(
+            {**common, "ph": "f", "bp": "e", "tid": dst_tid, "ts": dst_ts}
+        )
+
+    # ---------------------------------------------------------- timelines
+    def _add_timeline(
+        self,
+        process: str,
+        label: str,
+        metrics: ExecutionMetrics,
+        positions: Dict[int, tuple],
+        wall_seconds: float,
+        io_ends: Optional[Dict[int, float]] = None,
+    ) -> None:
+        """One execution on one process: ``positions`` maps fragment
+        index to its ``(start, end)`` seconds on this timeline."""
+        pid = self._pid(process)
+        origin = self._origin_us.get(pid, 0.0)
+        self._thread(pid, _QUERY_LANE, "queries")
+        self._slice(
+            pid, _QUERY_LANE, label, "query", origin, wall_seconds * _US,
+            args={
+                "backend": metrics.backend,
+                "workers": metrics.workers,
+                "total_seconds": metrics.total_seconds,
+                "rows_produced": metrics.rows_produced,
+            },
+        )
+        by_index = {f.index: f for f in metrics.fragments}
+        for f in metrics.fragments:
+            if f.index not in positions:
+                continue
+            start, end = positions[f.index]
+            tid = max(f.worker, 0) + 1
+            self._thread(pid, tid, f"worker {max(f.worker, 0)}")
+            ts = origin + start * _US
+            self._slice(
+                pid, tid, f"{label} f{f.index} [{f.role}]", "fragment",
+                ts, (end - start) * _US,
+                args={
+                    "description": f.description,
+                    "depends_on": list(f.depends_on),
+                    "io_seconds": f.io_seconds,
+                    "cpu_seconds": f.cpu_seconds,
+                    "rows_out": f.rows_out,
+                    "output_bytes": f.output_bytes,
+                    "peak_memory_bytes": f.peak_memory_bytes,
+                    "queue_wait_seconds": f.queue_wait_seconds,
+                    "measured_seconds": f.measured_seconds,
+                },
+            )
+            if io_ends is not None:
+                io_end = io_ends.get(f.index, start)
+                if io_end > start:
+                    self._slice(
+                        pid, tid, "io", "io", ts, (io_end - start) * _US,
+                        args={
+                            "charged_io_seconds": f.io_seconds,
+                            "stretch_seconds": max(
+                                (io_end - start) - f.io_seconds, 0.0
+                            ),
+                        },
+                    )
+        for f in metrics.fragments:
+            if f.index not in positions:
+                continue
+            _, end = positions[f.index]
+            for consumer in (
+                c for c in metrics.fragments
+                if f.index in c.depends_on and c.index in positions
+            ):
+                c_start = positions[consumer.index][0]
+                self._flow(
+                    pid,
+                    max(by_index[f.index].worker, 0) + 1,
+                    max(consumer.worker, 0) + 1,
+                    origin + end * _US,
+                    origin + max(c_start, end) * _US,
+                )
+        self._origin_us[pid] = origin + wall_seconds * _US + _QUERY_GAP_US
+
+    def add_execution(self, label: str, metrics: ExecutionMetrics) -> None:
+        """Render one execution: the simulated timeline always, and the
+        measured timeline too when the backend recorded wall positions."""
+        simulated = {
+            f.index: (f.start_seconds, f.end_seconds) for f in metrics.fragments
+        }
+        io_ends = {f.index: f.io_end_seconds for f in metrics.fragments}
+        self._add_timeline(
+            "simulated", label, metrics, simulated, metrics.wall_seconds,
+            io_ends=io_ends,
+        )
+        measured = {
+            f.index: (f.measured_start_seconds, f.measured_end_seconds)
+            for f in metrics.fragments
+            if f.measured_end_seconds > f.measured_start_seconds
+        }
+        if measured:
+            wall = metrics.measured_wall_seconds or max(
+                end for _, end in measured.values()
+            )
+            self._add_timeline(
+                f"measured ({metrics.backend} backend)", label, metrics,
+                measured, wall,
+            )
+
+    # ------------------------------------------------------------- output
+    def to_json(self) -> dict:
+        return {"traceEvents": list(self.events), "displayTimeUnit": "ms"}
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_json(), fh)
+            fh.write("\n")
+
+
+# ------------------------------------------------------------ validation
+_REQUIRED_BY_PHASE = {
+    "X": ("ts", "dur"),
+    "M": (),
+    "s": ("ts", "id"),
+    "f": ("ts", "id"),
+}
+
+
+def validate_trace_events(events: List[dict]) -> List[str]:
+    """Structural validation of a trace-event list; returns problems
+    (empty = valid).  Checks the invariants the exporter promises:
+    well-formed events, matched flow pairs, and non-negative geometry."""
+    errors: List[str] = []
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    open_flows: Dict[tuple, dict] = {}
+    for position, event in enumerate(events):
+        where = f"event {position}"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _REQUIRED_BY_PHASE:
+            errors.append(f"{where}: unknown phase {phase!r}")
+            continue
+        for key in ("name", "pid", "tid") + _REQUIRED_BY_PHASE[phase]:
+            if key not in event:
+                errors.append(f"{where}: missing {key!r} ({phase} event)")
+        if phase == "X":
+            if event.get("ts", 0) < 0 or event.get("dur", 0) < 0:
+                errors.append(f"{where}: negative ts/dur")
+        if phase == "s":
+            open_flows[(event.get("cat"), event.get("id"))] = event
+        if phase == "f":
+            key = (event.get("cat"), event.get("id"))
+            start = open_flows.pop(key, None)
+            if start is None:
+                errors.append(f"{where}: flow finish without a start (id {event.get('id')})")
+            elif event.get("ts", 0) < start.get("ts", 0):
+                errors.append(f"{where}: flow arrives before it departs (id {event.get('id')})")
+    for (_, flow_id), _ in open_flows.items():
+        errors.append(f"flow start without a finish (id {flow_id})")
+    return errors
+
+
+def validate_trace(document) -> List[str]:
+    """Validate a whole trace document (the ``to_json()`` shape)."""
+    if not isinstance(document, dict):
+        return ["trace document is not an object"]
+    if "traceEvents" not in document:
+        return ["trace document has no traceEvents"]
+    return validate_trace_events(document["traceEvents"])

@@ -212,19 +212,22 @@ def _run_fragment_task(payload: bytes, deps_blob: bytes):
     plainly pickled results of the fragment's dependencies.  Returns the
     fragment's relation, its metrics (operator actuals re-listed in
     pre-order walk position, since ``id()`` keys do not survive the
-    process boundary) and the measured wall-clock seconds."""
+    process boundary) and the measured wall-clock window as absolute
+    ``perf_counter`` timestamps — with the fork start method the clock
+    is shared with the parent, which rebases the window onto the run's
+    origin to place the fragment on the measured timeline."""
     index, root, disk, costs = _loads_shared(payload)
     deps: Dict[int, Relation] = pickle.loads(deps_blob)
     metrics = ExecutionMetrics()
     ctx = ExecutionContext(disk, costs, metrics, fragment_results=deps)
     started = time.perf_counter()
     relation = root.run(ctx)
-    measured = time.perf_counter() - started
+    ended = time.perf_counter()
     ctx.release_all()
     metrics.rows_produced = relation.num_rows
     actuals = [metrics.operators.get(id(op)) for op in walk_physical(root)]
     metrics.operators = {}
-    return index, relation, metrics, actuals, measured
+    return index, relation, metrics, actuals, (started, ended)
 
 
 # ------------------------------------------------------------- backends
@@ -324,7 +327,8 @@ class ProcessBackend(ExecutionBackend):
 
         results: Dict[int, Relation] = {}
         fragment_metrics: Dict[int, ExecutionMetrics] = {}
-        measured: Dict[int, float] = {}
+        #: index -> (start, end) seconds relative to the run's origin.
+        measured: Dict[int, Tuple[float, float]] = {}
         events: "queue.SimpleQueue" = queue.SimpleQueue()
 
         def submit(fragment: Fragment) -> None:
@@ -353,7 +357,7 @@ class ProcessBackend(ExecutionBackend):
                 raise RuntimeError(
                     "process backend: a fragment failed in a pool worker"
                 ) from value
-            index, relation, metrics, actuals, wall = value
+            index, relation, metrics, actuals, window = value
             fragment = by_index[index]
             # the worker ran a pickled copy of the fragment tree; its
             # id() keys are meaningless here, so the actuals come back
@@ -366,7 +370,9 @@ class ProcessBackend(ExecutionBackend):
             }
             results[index] = relation
             fragment_metrics[index] = metrics
-            measured[index] = wall
+            # rebase the worker's perf_counter window onto this run's
+            # origin (same clock across fork) for the measured timeline
+            measured[index] = (window[0] - started, window[1] - started)
             completed += 1
             for waiter in dependents.get(index, ()):
                 deps = remaining[waiter]
@@ -379,7 +385,7 @@ class ProcessBackend(ExecutionBackend):
         ctx = ExecutionContext(disk, costs, metrics, fragment_results=results)
         tail_start = time.perf_counter()
         relation = final.root.run(ctx)
-        measured[final.index] = time.perf_counter() - tail_start
+        measured[final.index] = (tail_start - started, time.perf_counter() - started)
         ctx.release_all()
         metrics.rows_produced = relation.num_rows
         results[final.index] = relation
@@ -390,9 +396,11 @@ class ProcessBackend(ExecutionBackend):
         )
         merged.backend = self.name
         for fragment_actuals in merged.fragments:
-            fragment_actuals.measured_seconds = measured.get(
-                fragment_actuals.index, 0.0
-            )
+            window = measured.get(fragment_actuals.index)
+            if window is not None:
+                fragment_actuals.measured_start_seconds = window[0]
+                fragment_actuals.measured_end_seconds = window[1]
+                fragment_actuals.measured_seconds = window[1] - window[0]
         merged.measured_wall_seconds = time.perf_counter() - started
         return relation, merged
 

@@ -264,6 +264,9 @@ def merge_parallel_metrics(
             consumers.setdefault(dep, []).append(fragment.index)
 
     memory_intervals: List[Tuple[float, float, float]] = []
+    #: per-tag live intervals, merged with the same concurrent-peak rule
+    #: as the overall footprint (exchange buffers under "exchange").
+    tag_intervals: Dict[str, List[Tuple[float, float, float]]] = {}
     for fragment in plan.fragments:
         metrics = fragment_metrics[fragment.index]
         slot = slot_of[fragment.index]
@@ -281,9 +284,16 @@ def merge_parallel_metrics(
             output_bytes = relation.data_bytes()
             reads_end = max(slot_of[c].end_seconds for c in consumers[fragment.index])
             memory_intervals.append((slot.end_seconds, reads_end, output_bytes))
+            tag_intervals.setdefault("exchange", []).append(
+                (slot.end_seconds, reads_end, output_bytes)
+            )
         memory_intervals.append(
             (slot.start_seconds, slot.end_seconds, metrics.memory.peak_bytes)
         )
+        for tag, tag_peak in metrics.memory.tag_peaks.items():
+            tag_intervals.setdefault(tag, []).append(
+                (slot.start_seconds, slot.end_seconds, tag_peak)
+            )
         merged.fragments.append(
             FragmentActuals(
                 index=fragment.index,
@@ -303,6 +313,10 @@ def merge_parallel_metrics(
             )
         )
     merged.memory.peak_bytes = concurrent_peak(memory_intervals)
+    merged.memory.tag_peaks = {
+        tag: concurrent_peak(intervals)
+        for tag, intervals in tag_intervals.items()
+    }
     final = results[plan.final.index]
     merged.rows_produced = final.num_rows
     return final, merged

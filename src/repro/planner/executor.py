@@ -29,6 +29,7 @@ lowered plan and the worker count.
 from __future__ import annotations
 
 from collections import OrderedDict
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -36,6 +37,7 @@ from ..execution.cost import DEFAULT_COSTS, CostModel
 from ..execution.metrics import ExecutionMetrics, FragmentActuals
 from ..execution.operators import ExecutionContext
 from ..execution.relation import Relation
+from ..observe.registry import REGISTRY
 from ..parallel.backends import ExecutionBackend, create_backend
 from ..parallel.fragments import ParallelPlan, plan_fragments
 from ..schemes.base import PhysicalDatabase
@@ -64,11 +66,18 @@ class Executor:
         disk: Optional[DiskModel] = None,
         costs: Optional[CostModel] = None,
         options: Optional[ExecutionOptions] = None,
+        tracer=None,
     ):
         self.pdb = physical_db
         self.disk = disk or PAPER_SSD
         self.costs = costs or DEFAULT_COSTS
         self.options = options or ExecutionOptions()
+        #: optional :class:`repro.observe.SpanTracer`.  Strictly passive:
+        #: phases are wrapped in wall-clock spans and finished runs are
+        #: recorded from their metrics, but the tracer never touches the
+        #: metrics themselves — simulated charges and results are
+        #: bit-identical with tracing on or off.
+        self.tracer = tracer
         #: metrics of the most recent execution; present from birth (an
         #: empty ExecutionMetrics) so inspecting an executor before its
         #: first run never raises.
@@ -95,6 +104,12 @@ class Executor:
         )
 
     # ----------------------------------------------------------- planning
+    def _span(self, name: str, **attributes):
+        """A tracer span when a tracer is attached, else a no-op."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, **attributes)
+
     def lower(self, plan) -> PhysicalPlan:
         """Lower a logical plan (cached; pure — runs nothing)."""
         from .logical import Plan
@@ -106,9 +121,12 @@ class Executor:
         key = (id(node), self.options.cache_key(self.pdb.epoch))
         hit = self._plan_cache.get(key)
         if hit is not None:
+            REGISTRY.inc("plan_cache.hits")
             self._plan_cache.move_to_end(key)
             return hit[1]
-        pplan = lower(self.pdb, node, self.options)
+        REGISTRY.inc("plan_cache.misses")
+        with self._span("lower", scheme=self.pdb.scheme_name):
+            pplan = lower(self.pdb, node, self.options)
         self._plan_cache[key] = (node, pplan)
         while len(self._plan_cache) > _PLAN_CACHE_SIZE:
             self._plan_cache.popitem(last=False)
@@ -125,14 +143,17 @@ class Executor:
         )
         hit = self._fragment_cache.get(key)
         if hit is not None:
+            REGISTRY.inc("fragment_cache.hits")
             self._fragment_cache.move_to_end(key)
             return hit[1]
-        parallel = plan_fragments(
-            pplan, workers,
-            min_partition_rows=self.options.min_partition_rows,
-            enable_copartition=self.options.enable_copartition,
-            enable_partial_agg=self.options.enable_partial_agg,
-        )
+        REGISTRY.inc("fragment_cache.misses")
+        with self._span("fragment", workers=workers):
+            parallel = plan_fragments(
+                pplan, workers,
+                min_partition_rows=self.options.min_partition_rows,
+                enable_copartition=self.options.enable_copartition,
+                enable_partial_agg=self.options.enable_partial_agg,
+            )
         self._fragment_cache[key] = (pplan, parallel)
         while len(self._fragment_cache) > _PLAN_CACHE_SIZE:
             self._fragment_cache.popitem(last=False)
@@ -168,18 +189,32 @@ class Executor:
     def run(self, pplan: PhysicalPlan) -> QueryResult:
         """Execute an already-lowered physical plan (parallel when the
         options ask for workers and the plan has a splittable scan)."""
+        result = self._run(pplan)
+        REGISTRY.inc("queries_executed")
+        if result.metrics.delta_rows_scanned:
+            REGISTRY.inc("delta_rows_scanned", result.metrics.delta_rows_scanned)
+        if self.tracer is not None:
+            self.tracer.record_query(pplan.root.describe(), result.metrics)
+        return result
+
+    def _run(self, pplan: PhysicalPlan) -> QueryResult:
         if self.options.workers > 1:
             parallel = self.parallel_plan(pplan)
             if parallel.is_parallel:
-                relation, metrics = self.backend().run(
-                    parallel, self.disk, self.costs
-                )
+                with self._span(
+                    "execute", backend=self.options.backend,
+                    workers=parallel.workers, fragments=len(parallel.fragments),
+                ):
+                    relation, metrics = self.backend().run(
+                        parallel, self.disk, self.costs
+                    )
                 self.metrics = metrics
                 return QueryResult(relation, metrics)
         metrics = ExecutionMetrics()
         self.metrics = metrics
         ctx = ExecutionContext(self.disk, self.costs, metrics)
-        relation = pplan.root.run(ctx)
+        with self._span("execute", backend="serial", workers=1):
+            relation = pplan.root.run(ctx)
         metrics.rows_produced = relation.num_rows
         ctx.release_all()
         # a serial run is one fragment on one worker: wall clock is the
@@ -203,6 +238,7 @@ class Executor:
 
     def execute(self, plan) -> QueryResult:
         """Lower (or fetch the cached lowering of) a plan and run it."""
-        if isinstance(plan, PhysicalPlan):
-            return self.run(plan)
-        return self.run(self.lower(plan))
+        with self._span("query", category="query", scheme=self.pdb.scheme_name):
+            if isinstance(plan, PhysicalPlan):
+                return self.run(plan)
+            return self.run(self.lower(plan))

@@ -3,14 +3,22 @@
 Generates TPC-H at a chosen scale, builds the requested physical
 schemes, runs queries and prints Figure 2 / Figure 3-style tables or
 per-query EXPLAIN output.
+
+Observability flags (see docs/observability.md): ``--trace FILE``
+writes a Chrome trace-event timeline of every execution (open it in
+https://ui.perfetto.dev), ``--query-log FILE`` appends one validated
+JSONL record per query, and ``--json`` replaces the text tables with a
+machine-readable document built from the same record shape.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List
+from typing import List, Optional
 
+from ..observe import SCHEMA_VERSION, QueryLog, TraceBuilder, build_record
 from ..planner.executor import ExecutionOptions, Executor
 from ..planner.explain import format_parallel_plan, format_physical_plan
 from .datagen import generate
@@ -20,6 +28,71 @@ from .queries import QUERIES
 from .runner import QueryRunner
 
 __all__ = ["main"]
+
+
+def normalize_query_id(token: str) -> str:
+    """Canonical query id of a user-supplied token: ``1``, ``q1``,
+    ``Q1`` and ``Q01`` all name ``Q01``; unknown shapes pass through
+    upper-cased so the caller reports them verbatim."""
+    token = token.strip().upper()
+    digits = token[1:] if token.startswith("Q") else token
+    if digits.isdigit():
+        return f"Q{int(digits):02d}"
+    return token
+
+
+class ObservabilitySink:
+    """Fans one finished query out to the enabled sinks: the trace
+    builder (``--trace``), the JSONL query log (``--query-log``) and an
+    in-memory record list (``--json``)."""
+
+    def __init__(
+        self,
+        trace_path: Optional[str],
+        query_log_path: Optional[str],
+        collect: bool,
+        options: ExecutionOptions,
+    ):
+        self.trace_path = trace_path
+        self.builder = TraceBuilder() if trace_path else None
+        self.query_log = QueryLog(query_log_path) if query_log_path else None
+        self.records: Optional[List[dict]] = [] if collect else None
+        self.options = options
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.builder or self.query_log or self.records is not None)
+
+    def observe(self, qname: str, sname: str, runner, result) -> None:
+        label = f"{qname}/{sname}"
+        if self.builder is not None:
+            stages = runner.stage_metrics
+            for position, stage in enumerate(stages):
+                stage_label = (
+                    label if len(stages) == 1
+                    else f"{label} stage {position + 1}"
+                )
+                self.builder.add_execution(stage_label, stage)
+        if self.query_log is not None or self.records is not None:
+            record = build_record(
+                label,
+                runner.metrics,
+                pdb=runner.executor.pdb,
+                scheme=sname,
+                options=self.options,
+                plans=runner.physical_plans,
+                relation=result.relation,
+            )
+            if self.query_log is not None:
+                self.query_log.write(record)
+            if self.records is not None:
+                self.records.append(record)
+
+    def finish(self) -> None:
+        if self.builder is not None:
+            self.builder.write(self.trace_path)
+        if self.query_log is not None:
+            self.query_log.close()
 
 
 def _parse_args(argv: List[str]) -> argparse.Namespace:
@@ -77,6 +150,28 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
             "refreshed (merge-on-read) state"
         ),
     )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help=(
+            "write a Chrome trace-event JSON timeline of every execution "
+            "(workers as lanes, fragments as slices, exchanges as flow "
+            "arrows; open in https://ui.perfetto.dev)"
+        ),
+    )
+    parser.add_argument(
+        "--query-log", metavar="FILE", default=None,
+        help=(
+            "append one schema-validated JSONL record per query "
+            "(plan fingerprint, options, epochs, actuals, timeline)"
+        ),
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help=(
+            "print a machine-readable JSON document (query-log record "
+            "shape) instead of the text tables"
+        ),
+    )
     return parser.parse_args(argv)
 
 
@@ -86,7 +181,7 @@ def main(argv: List[str] | None = None) -> int:
     if args.queries == "all":
         selected = dict(QUERIES)
     else:
-        wanted = [q.strip().upper() for q in args.queries.split(",")]
+        wanted = [normalize_query_id(q) for q in args.queries.split(",") if q.strip()]
         unknown = [q for q in wanted if q not in QUERIES]
         if unknown:
             print(f"unknown queries: {unknown}", file=sys.stderr)
@@ -98,6 +193,9 @@ def main(argv: List[str] | None = None) -> int:
         enable_pushdown=not args.no_pushdown,
         workers=max(args.workers, 1),
         backend=args.backend,
+    )
+    sink = ObservabilitySink(
+        args.trace, args.query_log, collect=args.json, options=options
     )
 
     print(f"generating TPC-H SF={args.sf} (seed {args.seed}) ...", file=sys.stderr)
@@ -137,6 +235,8 @@ def main(argv: List[str] | None = None) -> int:
                     # physical plans are available alongside the actuals
                     runner = QueryRunner(executor)
                     result = fn(runner)
+                    if sink.enabled:
+                        sink.observe(qname, scheme_name, runner, result)
                     for stage, pplan in enumerate(runner.physical_plans):
                         if len(runner.physical_plans) > 1:
                             print(f"-- stage {stage + 1}")
@@ -174,9 +274,28 @@ def main(argv: List[str] | None = None) -> int:
                         )
                     for note in runner.metrics.notes:
                         print(f"  - {note}")
+        sink.finish()
         return 0
 
-    suite = run_suite(pdbs, env, queries=selected, options=options)
+    suite = run_suite(
+        pdbs, env, queries=selected, options=options,
+        observer=sink.observe if sink.enabled else None,
+    )
+    sink.finish()
+    if args.json:
+        document = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "tpch_suite",
+            "scale_factor": args.sf,
+            "seed": args.seed,
+            "schemes": names,
+            "queries": sorted(selected),
+            "workers": options.workers,
+            "backend": options.backend,
+            "records": sink.records or [],
+        }
+        print(json.dumps(document, sort_keys=True, indent=2))
+        return 0
     print(suite.fig2_table())
     print()
     print(suite.fig3_table())

@@ -180,18 +180,33 @@ def run_suite(
     queries: Optional[Dict[str, Callable]] = None,
     options: Optional[ExecutionOptions] = None,
     check_results_match: bool = False,
+    tracer=None,
+    observer: Optional[Callable] = None,
 ) -> SuiteResult:
-    """Run the query set cold under every scheme."""
+    """Run the query set cold under every scheme.
+
+    ``tracer``/``observer`` thread through to :func:`run_query`; the
+    observer here is called as ``observer(qname, sname, runner, result)``
+    so sinks can label records by query and scheme.
+    """
     queries = queries or QUERIES
     schemes = {name: SchemeResults(name) for name in physical_dbs}
     reference_rows: Dict[str, list] = {}
     for qname, fn in queries.items():
         for sname, pdb in physical_dbs.items():
+            hook = None
+            if observer is not None:
+                hook = (
+                    lambda runner, result, q=qname, s=sname:
+                    observer(q, s, runner, result)
+                )
             result, metrics = run_query(
                 pdb, fn,
                 disk=environment.disk,
                 options=options,
                 costs=environment.cost_model,
+                tracer=tracer,
+                observer=hook,
             )
             schemes[sname].measurements[qname] = QueryMeasurement(
                 query=qname,

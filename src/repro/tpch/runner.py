@@ -67,6 +67,11 @@ class QueryRunner:
         merged.rows_produced = stage.rows_produced
         if stage.peak_memory_bytes > merged.memory.peak_bytes:
             merged.memory.peak_bytes = stage.peak_memory_bytes
+        # stages run sequentially, so a tag's query peak is its maximum
+        # over the stages (never a sum)
+        for tag, peak in stage.memory.tag_peaks.items():
+            if peak > merged.memory.tag_peaks.get(tag, 0.0):
+                merged.memory.tag_peaks[tag] = peak
         for key, value in stage.counters.items():
             merged.counters[key] = merged.counters.get(key, 0.0) + value
         merged.notes.extend(stage.notes)
@@ -88,12 +93,25 @@ def run_query(
     disk: Optional[DiskModel] = None,
     options: Optional[ExecutionOptions] = None,
     costs=None,
+    tracer=None,
+    observer: Optional[Callable[[QueryRunner, QueryResult], None]] = None,
 ) -> tuple:
-    """Run one query function; returns (QueryResult, merged metrics)."""
-    executor = Executor(physical_db, disk=disk, costs=costs, options=options)
+    """Run one query function; returns (QueryResult, merged metrics).
+
+    ``tracer`` (a :class:`repro.observe.SpanTracer`) is handed to the
+    executor; ``observer`` is called with ``(runner, result)`` after the
+    query finishes but before the executor is closed, so observability
+    sinks (trace builders, query logs) can read the runner's stage
+    metrics and lowered plans while they are still live.
+    """
+    executor = Executor(
+        physical_db, disk=disk, costs=costs, options=options, tracer=tracer
+    )
     try:
         runner = QueryRunner(executor)
         result = query(runner)
+        if observer is not None:
+            observer(runner, result)
         return result, runner.metrics
     finally:
         executor.close()  # releases process-backend pools/shared memory

@@ -28,6 +28,7 @@ import numpy as np
 from ..core.count_table import CountTable
 from ..core.histograms import collect_granularity_stats
 from ..execution.cost import CostModel
+from ..observe.registry import REGISTRY
 from ..storage.io_model import DiskModel
 from ..storage.stored_table import StoredTable
 from .delta import DeltaStore
@@ -170,6 +171,8 @@ def compact_table(
     stored.invalidate_statistics()
     stored.delta = DeltaStore(base_deleted=np.zeros(n, dtype=bool))
     stored.epoch += 1
+    REGISTRY.inc("compactions")
+    REGISTRY.inc("epochs_bumped")
 
     io_seconds = disk.time_for_runs(read_bytes) + disk.time_for_runs(write_bytes)
     cpu_seconds = n * costs.merge_row + n * costs.scan_value * max(len(merged_columns), 1)

@@ -43,6 +43,7 @@ import numpy as np
 from ..execution.cost import DEFAULT_COSTS, CostModel
 from ..execution.expressions import Expr
 from ..execution.metrics import ExecutionMetrics
+from ..observe.registry import REGISTRY
 from ..schemes.base import PhysicalDatabase
 from ..storage.database import Database
 from ..storage.io_model import PAPER_SSD, DiskModel
@@ -291,6 +292,7 @@ class UpdateSession:
                     continue
                 for stored in pdb.stored_copies(change.table):
                     stored.epoch += 1
+                    REGISTRY.inc("epochs_bumped")
                     if self.policy.should_compact(stored):
                         io_s, cpu_s = compact_table(stored, self.disk, self.costs)
                         metrics.compaction_seconds += io_s + cpu_s
@@ -301,6 +303,7 @@ class UpdateSession:
                     change.epoch = stored.epoch
             result.epochs[pdb.scheme_name] = pdb.epoch
         result.changes = list(per_table.values())
+        REGISTRY.inc("commits")
 
         self._inserts = []
         self._deletes = []

@@ -8,10 +8,12 @@ naive reference evaluator.  Exits non-zero on any result divergence.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import List
+from typing import List, Optional
 
+from ..observe import SCHEMA_VERSION, QueryLog, TraceBuilder, build_record
 from ..tpch.datagen import generate
 from ..tpch.environment import make_environment
 from ..tpch.harness import build_schemes
@@ -23,6 +25,56 @@ from .differential import (
 )
 
 __all__ = ["main"]
+
+
+class _Sink:
+    """Observability fan-out for sweep executions: ``--trace`` and
+    ``--query-log`` capture *every* (scheme, variant) execution; the
+    ``--json`` record list keeps only the default variant's (one per
+    query x scheme) so the document stays bounded."""
+
+    def __init__(
+        self,
+        trace_path: Optional[str],
+        query_log_path: Optional[str],
+        collect: bool,
+    ):
+        self.trace_path = trace_path
+        self.builder = TraceBuilder() if trace_path else None
+        self.query_log = QueryLog(query_log_path) if query_log_path else None
+        self.records: Optional[List[dict]] = [] if collect else None
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.builder or self.query_log or self.records is not None)
+
+    def observe(self, query, scheme, variant, executor, result) -> None:
+        label = f"q{query.index}/{scheme}/{variant}"
+        if self.builder is not None:
+            self.builder.add_execution(label, result.metrics)
+        if self.query_log is None and (
+            self.records is None or variant != "default"
+        ):
+            return
+        record = build_record(
+            label,
+            result.metrics,
+            pdb=executor.pdb,
+            scheme=scheme,
+            options=executor.options,
+            plans=[executor.lower(query.plan)],
+            relation=result.relation,
+        )
+        if self.query_log is not None:
+            self.query_log.write(record)
+        if self.records is not None and variant == "default":
+            self.records.append(record)
+
+    def finish(self) -> None:
+        if self.builder is not None:
+            self.builder.write(self.trace_path)
+        if self.query_log is not None:
+            self.query_log.close()
 
 
 def _parse_args(argv: List[str]) -> argparse.Namespace:
@@ -73,6 +125,24 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
     )
     parser.add_argument("--fail-fast", action="store_true", help="stop at the first divergence")
     parser.add_argument("--verbose", action="store_true", help="per-query progress")
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help=(
+            "write a Chrome trace-event timeline of every sweep execution "
+            "(open in https://ui.perfetto.dev)"
+        ),
+    )
+    parser.add_argument(
+        "--query-log", metavar="FILE", default=None,
+        help="append one validated JSONL record per sweep execution",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help=(
+            "print a machine-readable JSON document (report summary plus "
+            "default-variant query-log records) instead of the text report"
+        ),
+    )
     return parser.parse_args(argv)
 
 
@@ -103,6 +173,9 @@ def main(argv: List[str] | None = None) -> int:
             )
         )
 
+    sink = _Sink(args.trace, args.query_log, collect=args.json)
+    observer = sink.observe if sink.enabled else None
+
     repro_flags = f"--sf {args.sf} --datagen-seed {args.datagen_seed}"
     if args.updates > 0:
         report = run_update_differential(
@@ -116,6 +189,7 @@ def main(argv: List[str] | None = None) -> int:
             fail_fast=args.fail_fast,
             progress=progress,
             repro_flags=repro_flags + f" --updates {args.updates}",
+            observer=observer,
         )
     else:
         report = run_differential(
@@ -128,8 +202,19 @@ def main(argv: List[str] | None = None) -> int:
             fail_fast=args.fail_fast,
             progress=progress,
             repro_flags=repro_flags,
+            observer=observer,
         )
-    print(report.render())
+    sink.finish()
+    if args.json:
+        document = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "workload_differential",
+            "report": report.to_dict(),
+            "records": sink.records or [],
+        }
+        print(json.dumps(document, sort_keys=True, indent=2))
+    else:
+        print(report.render())
     print(f"({time.time() - started:.1f}s)", file=sys.stderr)
     return 0 if report.ok else 1
 

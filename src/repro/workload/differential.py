@@ -303,6 +303,37 @@ class WorkloadReport:
     def ok(self) -> bool:
         return not self.divergences
 
+    def to_dict(self) -> dict:
+        """JSON-ready form of the report (the ``--json`` CLI mode);
+        per-execution detail lives in query-log records, not here."""
+        return {
+            "seed": int(self.seed),
+            "queries": int(self.queries),
+            "executions": int(self.executions),
+            "ok": self.ok,
+            "worst_rel_error": float(self.worst_rel_error),
+            "strategies": {k: int(v) for k, v in sorted(self.strategies.items())},
+            "operator_totals": {
+                kind: {key: float(value) for key, value in totals.items()}
+                for kind, totals in sorted(self.operator_totals.items())
+            },
+            "commits": int(self.commits),
+            "rows_inserted": int(self.rows_inserted),
+            "rows_deleted": int(self.rows_deleted),
+            "compactions": int(self.compactions),
+            "divergences": [
+                {
+                    "seed": d.seed,
+                    "index": d.index,
+                    "scheme": d.scheme,
+                    "variant": d.variant,
+                    "description": d.description,
+                    "detail": d.detail,
+                }
+                for d in self.divergences
+            ],
+        }
+
     def render(self) -> str:
         lines = [
             f"workload differential: seed={self.seed} queries={self.queries} "
@@ -415,13 +446,16 @@ def run_differential(
     fail_fast: bool = False,
     progress: Optional[Callable[[int, int], None]] = None,
     repro_flags: str = "",
+    observer: Optional[Callable] = None,
 ) -> WorkloadReport:
     """Generate ``num_queries`` plans from ``seed`` and check every
     scheme x variant against the scheme-independent reference.
 
     ``repro_flags`` names the extra CLI flags (``--sf``,
     ``--datagen-seed``) that rebuild the same database, so divergence
-    reports reproduce exactly."""
+    reports reproduce exactly.  ``observer`` is called as
+    ``observer(query, scheme, variant, executor, result)`` after every
+    execution — the CLI's observability sinks hang off it."""
     variants = variants or ablation_variants()
     db = next(iter(physical_dbs.values())).database
     generator = PlanGenerator(db)
@@ -435,7 +469,7 @@ def run_differential(
     try:
         for index in range(num_queries):
             query = generator.generate(seed, index)
-            _check_one_query(report, executors, db, query, repro_flags)
+            _check_one_query(report, executors, db, query, repro_flags, observer)
             if report.divergences and fail_fast:
                 return report
             if progress is not None:
@@ -453,6 +487,7 @@ def _check_one_query(
     db,
     query,
     repro_flags: str,
+    observer: Optional[Callable] = None,
 ) -> None:
     """Run one generated query under every (scheme, variant) executor and
     record divergences against the naive reference (parallel variants
@@ -465,6 +500,8 @@ def _check_one_query(
     for (scheme, variant), executor in executors.items():
         result = executor.execute(query.plan)
         report.executions += 1
+        if observer is not None:
+            observer(query, scheme, variant, executor, result)
         if variant == "default":
             serial_relations[scheme] = result.relation
         got_names = sorted(result.relation.column_names)
@@ -604,6 +641,7 @@ def run_update_differential(
     progress: Optional[Callable[[int, int], None]] = None,
     repro_flags: str = "",
     policy=None,
+    observer: Optional[Callable] = None,
 ) -> WorkloadReport:
     """The update-aware sweep: seeded insert/delete batches committed
     through one :class:`~repro.updates.UpdateSession` (all schemes share
@@ -657,7 +695,9 @@ def run_update_differential(
                     seed, round_index * queries_per_round + q
                 )
                 query.description += f" (after {batch.description})"
-                _check_one_query(report, executors, db, query, repro_flags)
+                _check_one_query(
+                    report, executors, db, query, repro_flags, observer
+                )
                 if report.divergences and fail_fast:
                     return report
             if progress is not None:

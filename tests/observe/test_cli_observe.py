@@ -1,0 +1,93 @@
+"""The CLIs' observability surfaces: ``--trace``, ``--query-log`` and
+``--json`` on ``repro.tpch`` and ``repro.workload``, plus numeric query
+id normalization."""
+
+import json
+
+import pytest
+
+from repro.observe import read_records, record_errors, validate_trace
+from repro.tpch.cli import main as tpch_main
+from repro.tpch.cli import normalize_query_id
+from repro.workload.__main__ import main as workload_main
+
+SMALL = ["--sf", "0.002", "--schemes", "bdcc"]
+
+
+class TestNormalizeQueryId:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("1", "Q01"),
+            ("06", "Q06"),
+            ("19", "Q19"),
+            ("q3", "Q03"),
+            ("Q21", "Q21"),
+            (" q01 ", "Q01"),
+            ("nonsense", "NONSENSE"),
+        ],
+    )
+    def test_tokens(self, token, expected):
+        assert normalize_query_id(token) == expected
+
+    def test_unknown_query_is_an_error(self, capsys):
+        assert tpch_main(SMALL + ["--queries", "99"]) == 2
+
+
+class TestTpchCli:
+    def test_trace_and_query_log_files_validate(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        log = tmp_path / "log.jsonl"
+        code = tpch_main(
+            SMALL
+            + ["--queries", "1,6", "--workers", "2",
+               "--trace", str(trace), "--query-log", str(log)]
+        )
+        assert code == 0
+        document = json.loads(trace.read_text())
+        assert validate_trace(document) == []
+        records = read_records(str(log))
+        assert [r["label"] for r in records] == ["Q01/bdcc", "Q06/bdcc"]
+        for record in records:
+            assert record_errors(record) == []
+            assert record["workers"] == 2
+            assert record["backend"] == "simulated"
+
+    def test_json_mode_prints_the_suite_document(self, capsys):
+        code = tpch_main(SMALL + ["--queries", "6", "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == "tpch_suite"
+        assert document["queries"] == ["Q06"]
+        assert document["schemes"] == ["bdcc"]
+        (record,) = document["records"]
+        assert record_errors(record) == []
+        assert record["label"] == "Q06/bdcc"
+
+    def test_explain_mode_feeds_the_sink_too(self, tmp_path, capsys):
+        log = tmp_path / "log.jsonl"
+        code = tpch_main(
+            SMALL + ["--queries", "6", "--explain", "--query-log", str(log)]
+        )
+        assert code == 0
+        (record,) = read_records(str(log))
+        assert record_errors(record) == []
+
+
+class TestWorkloadCli:
+    def test_json_mode_with_trace_and_log(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        log = tmp_path / "log.jsonl"
+        code = workload_main(
+            ["--queries", "2", "--variants", "default", "--sf", "0.002",
+             "--json", "--trace", str(trace), "--query-log", str(log)]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == "workload_differential"
+        assert document["report"]["ok"] is True
+        for record in document["records"]:
+            assert record_errors(record) == []
+        assert validate_trace(json.loads(trace.read_text())) == []
+        for record in read_records(str(log)):
+            assert record_errors(record) == []

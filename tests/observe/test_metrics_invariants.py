@@ -1,0 +1,179 @@
+"""Accounting invariants the observability layer leans on: exclusive
+operator actuals summing to query totals (both backends), the
+counter/note merge rules of ``merge_parallel_metrics``, per-tag memory
+attribution, and its surfacing in ``explain(analyze=True)``."""
+
+import pytest
+
+from repro.execution.metrics import MemoryTracker
+from repro.parallel.scheduler import (
+    concurrent_peak,
+    execute_fragments,
+    merge_parallel_metrics,
+)
+from repro.execution.aggregate import AggSpec
+from repro.execution.expressions import col
+from repro.planner.executor import ExecutionOptions, Executor
+from repro.planner.explain import explain
+from repro.planner.logical import scan
+from repro.tpch.dates import days
+from repro.tpch.queries import QUERIES
+from repro.tpch.runner import QueryRunner
+
+
+def _q6_plan():
+    lo, hi = days("1994-01-01"), days("1995-01-01")
+    return scan(
+        "lineitem",
+        predicate=(
+            col("l_shipdate").ge(lo)
+            & col("l_shipdate").lt(hi)
+            & col("l_discount").between(0.05, 0.07)
+            & col("l_quantity").lt(24)
+        ),
+    ).groupby(
+        [], [AggSpec("revenue", "sum", col("l_extendedprice") * col("l_discount"))]
+    )
+
+
+def _run(pdb, environment, qname, workers=1, backend="simulated"):
+    executor = Executor(
+        pdb, disk=environment.disk, costs=environment.cost_model,
+        options=ExecutionOptions(
+            workers=workers, min_partition_rows=256, backend=backend
+        ),
+    )
+    try:
+        runner = QueryRunner(executor)
+        QUERIES[qname](runner)
+        return runner.metrics
+    finally:
+        executor.close()
+
+
+def _assert_operators_sum_to_totals(metrics):
+    assert metrics.operators
+    io = sum(a.io_seconds for a in metrics.operators.values())
+    cpu = sum(a.cpu_seconds for a in metrics.operators.values())
+    assert io == pytest.approx(metrics.io_seconds, rel=1e-9, abs=1e-12)
+    assert cpu == pytest.approx(metrics.cpu_seconds, rel=1e-9, abs=1e-12)
+
+
+class TestOperatorSumInvariant:
+    @pytest.mark.parametrize("qname", ["Q01", "Q06"])
+    def test_serial(self, physical_dbs, environment, qname):
+        for pdb in physical_dbs.values():
+            _assert_operators_sum_to_totals(_run(pdb, environment, qname))
+
+    @pytest.mark.parametrize("qname", ["Q01", "Q06"])
+    def test_parallel_simulated(self, bdcc_db, environment, qname):
+        metrics = _run(bdcc_db, environment, qname, workers=4)
+        assert metrics.workers > 1
+        _assert_operators_sum_to_totals(metrics)
+
+    @pytest.mark.backend
+    @pytest.mark.parametrize("qname", ["Q01", "Q06"])
+    def test_parallel_process_backend(self, bdcc_db, environment, qname):
+        metrics = _run(
+            bdcc_db, environment, qname, workers=4, backend="process"
+        )
+        assert metrics.measured_wall_seconds > 0.0
+        _assert_operators_sum_to_totals(metrics)
+
+
+class TestMergeParallelMetrics:
+    def _fragment_run(self, bdcc_db, environment):
+        executor = Executor(
+            bdcc_db, disk=environment.disk, costs=environment.cost_model,
+            options=ExecutionOptions(workers=4, min_partition_rows=256),
+        )
+        pplan = executor.lower(_q6_plan())
+        parallel = executor.parallel_plan(pplan)
+        assert parallel.is_parallel
+        results, fragment_metrics = execute_fragments(
+            parallel, environment.disk, environment.cost_model
+        )
+        return parallel, results, fragment_metrics
+
+    def test_counters_sum_and_notes_concatenate(self, bdcc_db, environment):
+        parallel, results, fragment_metrics = self._fragment_run(
+            bdcc_db, environment
+        )
+        for index, metrics in fragment_metrics.items():
+            metrics.counters["test.marker"] = 1.0
+            metrics.notes.append("synthetic note")
+        _, merged = merge_parallel_metrics(
+            parallel, results, fragment_metrics, environment.disk
+        )
+        assert merged.counters["test.marker"] == float(len(parallel.fragments))
+        for key in {k for m in fragment_metrics.values() for k in m.counters}:
+            expected = sum(
+                m.counters.get(key, 0.0) for m in fragment_metrics.values()
+            )
+            assert merged.counters[key] == pytest.approx(expected)
+        # notes keep their fragment provenance
+        for index in fragment_metrics:
+            assert f"[f{index}] synthetic note" in merged.notes
+
+    def test_tag_peaks_use_the_concurrent_peak_rule(self, bdcc_db, environment):
+        parallel, results, fragment_metrics = self._fragment_run(
+            bdcc_db, environment
+        )
+        _, merged = merge_parallel_metrics(
+            parallel, results, fragment_metrics, environment.disk
+        )
+        # every merged tag peak is bounded by the sum of the fragment
+        # peaks (concurrency can only lose overlap, never invent bytes)
+        for tag, peak in merged.memory.tag_peaks.items():
+            if tag == "exchange":
+                continue  # exchange buffers exist only after the merge
+            total = sum(
+                m.memory.tag_peaks.get(tag, 0.0)
+                for m in fragment_metrics.values()
+            )
+            biggest = max(
+                m.memory.tag_peaks.get(tag, 0.0)
+                for m in fragment_metrics.values()
+            )
+            assert biggest <= peak <= total + 1e-9
+
+
+class TestConcurrentPeak:
+    def test_overlap_and_handoff(self):
+        assert concurrent_peak([]) == 0.0
+        assert concurrent_peak([(0.0, 1.0, 100.0), (2.0, 3.0, 50.0)]) == 100.0
+        assert concurrent_peak([(0.0, 2.0, 100.0), (1.0, 3.0, 50.0)]) == 150.0
+        # at equal timestamps the allocation applies before the release,
+        # so a producer->consumer handoff counts as overlap
+        assert concurrent_peak([(0.0, 1.0, 100.0), (1.0, 2.0, 50.0)]) == 150.0
+        assert concurrent_peak([(0.0, 1.0, -5.0)]) == 0.0
+
+
+class TestMemoryTags:
+    def test_per_tag_current_and_peaks(self):
+        tracker = MemoryTracker()
+        hash_build = tracker.allocate("hash-build", 100.0)
+        sort = tracker.allocate("sort", 40.0)
+        assert tracker.peak_bytes == 140.0
+        assert tracker.tag_peaks == {"hash-build": 100.0, "sort": 40.0}
+        hash_build.release()
+        second = tracker.allocate("hash-build", 60.0)
+        # the tag peak keeps its own historical maximum
+        assert tracker.tag_peaks["hash-build"] == 100.0
+        assert tracker.tag_current["hash-build"] == 60.0
+        second.release()
+        sort.release()
+        assert tracker.current_bytes == 0.0
+        assert tracker.tag_current == {"hash-build": 0.0, "sort": 0.0}
+
+    def test_real_queries_attribute_their_peak(self, bdcc_db, environment):
+        metrics = _run(bdcc_db, environment, "Q01")
+        assert metrics.memory.tag_peaks
+        assert max(metrics.memory.tag_peaks.values()) <= metrics.peak_memory_bytes
+
+    def test_explain_analyze_reports_tag_peaks(self, bdcc_db, environment):
+        executor = Executor(
+            bdcc_db, disk=environment.disk, costs=environment.cost_model
+        )
+        text = explain(executor, _q6_plan(), analyze=True)
+        assert "memory by tag (per-tag peak)" in text

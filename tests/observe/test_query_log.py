@@ -1,0 +1,144 @@
+"""Query-log records: building from real executions, JSONL round-trips,
+and the validator's rejection of malformed records."""
+
+import pytest
+
+from repro.observe import (
+    SCHEMA_VERSION,
+    QueryLog,
+    build_record,
+    plan_fingerprint,
+    read_records,
+    record_errors,
+    validate_record,
+)
+from repro.planner.executor import ExecutionOptions, Executor
+from repro.tpch.queries import QUERIES
+from repro.tpch.runner import QueryRunner
+
+
+def _record(pdb, environment, qname, workers=1):
+    options = ExecutionOptions(workers=workers, min_partition_rows=256)
+    executor = Executor(
+        pdb, disk=environment.disk, costs=environment.cost_model, options=options
+    )
+    try:
+        runner = QueryRunner(executor)
+        result = QUERIES[qname](runner)
+        return build_record(
+            f"{qname}/{pdb.scheme_name}", runner.metrics, pdb=pdb,
+            options=options, plans=runner.physical_plans,
+            relation=result.relation,
+        )
+    finally:
+        executor.close()
+
+
+class TestBuildRecord:
+    def test_real_execution_produces_a_valid_record(self, bdcc_db, environment):
+        record = _record(bdcc_db, environment, "Q06")
+        assert record_errors(record) == []
+        assert record["schema_version"] == SCHEMA_VERSION
+        assert record["label"] == "Q06/bdcc"
+        assert record["scheme"] == "bdcc"
+        assert record["plan_fingerprint"]
+        assert record["simulated"]["total_seconds"] > 0.0
+        assert record["operators"] and record["fragments"]
+        assert record["result"]["rows"] == 1
+        assert "counters" in record["registry"]
+
+    def test_parallel_record_carries_the_timeline(self, bdcc_db, environment):
+        record = _record(bdcc_db, environment, "Q01", workers=4)
+        assert record_errors(record) == []
+        assert record["workers"] == 4
+        assert len(record["fragments"]) > 1
+        assert any(f["depends_on"] for f in record["fragments"])
+
+    def test_multi_stage_query_round_trips(self, bdcc_db, environment):
+        # Q15 decorrelates into a scalar pre-query plus the main plan
+        record = _record(bdcc_db, environment, "Q15")
+        assert record_errors(record) == []
+
+
+class TestFingerprint:
+    def test_stable_across_relowering(self, bdcc_db, environment):
+        a = _record(bdcc_db, environment, "Q06")
+        b = _record(bdcc_db, environment, "Q06")
+        assert a["plan_fingerprint"] == b["plan_fingerprint"]
+
+    def test_distinct_queries_differ(self, bdcc_db, environment):
+        a = _record(bdcc_db, environment, "Q06")
+        b = _record(bdcc_db, environment, "Q01")
+        assert a["plan_fingerprint"] != b["plan_fingerprint"]
+
+    def test_fingerprint_is_a_short_hex_digest(self, bdcc_db, environment):
+        executor = Executor(
+            bdcc_db, disk=environment.disk, costs=environment.cost_model
+        )
+        runner = QueryRunner(executor)
+        QUERIES["Q06"](runner)
+        digest = plan_fingerprint(runner.physical_plans)
+        assert len(digest) == 16
+        int(digest, 16)  # hex
+
+
+class TestValidator:
+    def test_tampered_records_are_rejected(self, bdcc_db, environment):
+        record = _record(bdcc_db, environment, "Q06")
+
+        missing = dict(record)
+        del missing["label"]
+        assert any("label" in e for e in record_errors(missing))
+
+        wrong_type = dict(record)
+        wrong_type["workers"] = "four"
+        assert any("workers" in e for e in record_errors(wrong_type))
+
+        unknown = dict(record)
+        unknown["surprise"] = 1
+        assert any("unknown field" in e for e in record_errors(unknown))
+
+        stale = dict(record)
+        stale["schema_version"] = SCHEMA_VERSION + 1
+        assert any("schema_version" in e for e in record_errors(stale))
+
+        reversed_fragment = dict(record)
+        fragments = [dict(f) for f in record["fragments"]]
+        fragments[0]["end_seconds"] = fragments[0]["start_seconds"] - 1.0
+        reversed_fragment["fragments"] = fragments
+        assert any(
+            "end_seconds before start_seconds" in e
+            for e in record_errors(reversed_fragment)
+        )
+
+    def test_validate_record_raises(self):
+        with pytest.raises(ValueError):
+            validate_record({"schema_version": SCHEMA_VERSION})
+
+
+class TestQueryLog:
+    def test_jsonl_round_trip(self, bdcc_db, environment, tmp_path):
+        path = tmp_path / "log.jsonl"
+        original = _record(bdcc_db, environment, "Q06")
+        with QueryLog(str(path)) as log:
+            log.write(original)
+            assert log.written == 1
+        (loaded,) = read_records(str(path))
+        assert loaded == original
+        assert record_errors(loaded) == []
+
+    def test_invalid_records_never_reach_disk(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with QueryLog(str(path)) as log:
+            with pytest.raises(ValueError):
+                log.write({"not": "a record"})
+            assert log.written == 0
+        assert read_records(str(path)) == []
+
+    def test_appends_across_reopens(self, bdcc_db, environment, tmp_path):
+        path = tmp_path / "log.jsonl"
+        record = _record(bdcc_db, environment, "Q06")
+        for _ in range(2):
+            with QueryLog(str(path)) as log:
+                log.write(record)
+        assert len(read_records(str(path))) == 2

@@ -1,0 +1,67 @@
+"""The process-wide metrics registry: counters, gauges, snapshots, and
+the engine hooks that feed it (executor caches, update churn)."""
+
+from repro.observe import REGISTRY, MetricsRegistry
+from repro.planner.executor import Executor
+from repro.planner.logical import scan
+from repro.tpch.queries import QUERIES
+from repro.tpch.runner import run_query
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate_from_zero(self):
+        registry = MetricsRegistry()
+        assert registry.get("x") == 0.0
+        registry.inc("x")
+        registry.inc("x", 2.5)
+        assert registry.get("x") == 3.5
+        assert registry.counters == {"x": 3.5}
+
+    def test_gauges_are_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("g", 1.0)
+        registry.set_gauge("g", 7.0)
+        assert registry.get("g") == 7.0
+        # a counter of the same name shadows the gauge in get()
+        registry.inc("g", 2.0)
+        assert registry.get("g") == 2.0
+
+    def test_snapshot_is_a_deep_copy(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.set_gauge("b", 4.0)
+        snap = registry.snapshot()
+        assert snap == {"counters": {"a": 1.0}, "gauges": {"b": 4.0}}
+        snap["counters"]["a"] = 99.0
+        snap["gauges"]["b"] = 99.0
+        assert registry.get("a") == 1.0
+        assert registry.get("b") == 4.0
+
+    def test_reset_forgets_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.set_gauge("b", 1.0)
+        registry.reset()
+        assert registry.counters == {} and registry.gauges == {}
+
+
+class TestEngineHooks:
+    def test_query_run_bumps_registry(self, bdcc_db, environment):
+        before = REGISTRY.get("queries_executed")
+        run_query(
+            bdcc_db, QUERIES["Q06"], disk=environment.disk,
+            costs=environment.cost_model,
+        )
+        assert REGISTRY.get("queries_executed") == before + 1
+
+    def test_plan_cache_hits_and_misses(self, bdcc_db, environment):
+        executor = Executor(
+            bdcc_db, disk=environment.disk, costs=environment.cost_model
+        )
+        plan = scan("region")
+        misses = REGISTRY.get("plan_cache.misses")
+        hits = REGISTRY.get("plan_cache.hits")
+        executor.lower(plan)
+        assert REGISTRY.get("plan_cache.misses") == misses + 1
+        executor.lower(plan)
+        assert REGISTRY.get("plan_cache.hits") == hits + 1
