@@ -16,6 +16,10 @@ from repro.tpch.runner import run_query
 
 from conftest import write_report
 
+#: the fast benchmark set: every pytest bench runs in seconds at the
+#: default SF, so CI appends a ledger record for all of them
+pytestmark = pytest.mark.fast
+
 QUERY_SET = ["Q06", "Q12", "Q20"]
 
 _rows = {}

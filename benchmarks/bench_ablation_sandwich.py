@@ -15,6 +15,10 @@ from repro.tpch.runner import run_query
 
 from conftest import write_report
 
+#: the fast benchmark set: every pytest bench runs in seconds at the
+#: default SF, so CI appends a ledger record for all of them
+pytestmark = pytest.mark.fast
+
 QUERY_SET = ["Q09", "Q13", "Q18", "Q21"]
 
 _rows = {}

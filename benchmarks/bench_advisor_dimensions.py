@@ -15,7 +15,13 @@ from __future__ import annotations
 
 from repro.core.advisor import SchemaAdvisor
 
+import pytest
+
 from conftest import write_report
+
+#: the fast benchmark set: every pytest bench runs in seconds at the
+#: default SF, so CI appends a ledger record for all of them
+pytestmark = pytest.mark.fast
 
 PAPER_ROWS = {
     "D_NATION": (5, "nation", "n_regionkey,n_nationkey"),

@@ -12,7 +12,13 @@ from repro.core.advisor import SchemaAdvisor
 from repro.core.bits import mask_to_string
 from repro.core.interleave import assign_masks
 
+import pytest
+
 from conftest import write_report
+
+#: the fast benchmark set: every pytest bench runs in seconds at the
+#: default SF, so CI appends a ledger record for all of them
+pytestmark = pytest.mark.fast
 
 PAPER_BITS = {"D_NATION": 5, "D_PART": 13, "D_DATE": 13}
 

@@ -16,6 +16,10 @@ from repro.tpch.queries import QUERIES
 
 from conftest import write_report
 
+#: the fast benchmark set: every pytest bench runs in seconds at the
+#: default SF, so CI appends a ledger record for all of them
+pytestmark = pytest.mark.fast
+
 PAPER_TOTALS = {"plain": 630.82, "pk": 491.33, "bdcc": 284.43}
 
 _results = {}

@@ -14,6 +14,10 @@ from repro.tpch.queries import QUERIES
 
 from conftest import write_report
 
+#: the fast benchmark set: every pytest bench runs in seconds at the
+#: default SF, so CI appends a ledger record for all of them
+pytestmark = pytest.mark.fast
+
 PAPER = {
     "total_gb": {"plain": 38.09, "pk": 10.74, "bdcc": 1.68},
     "avg_gb": {"plain": 1.59, "bdcc": 0.09},

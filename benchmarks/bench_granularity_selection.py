@@ -19,6 +19,10 @@ from repro.tpch.harness import build_schemes
 
 from conftest import write_report
 
+#: the fast benchmark set: every pytest bench runs in seconds at the
+#: default SF, so CI appends a ledger record for all of them
+pytestmark = pytest.mark.fast
+
 
 def test_paper_lineitem_20_bits(benchmark):
     """The SF100 computation, through the real selection rule."""

@@ -44,7 +44,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np  # noqa: E402
 
-from repro.observe import SCHEMA_VERSION  # noqa: E402
+from repro.observe import SCHEMA_VERSION, history  # noqa: E402
 from repro.planner.executor import ExecutionOptions, Executor  # noqa: E402
 from repro.tpch.datagen import generate  # noqa: E402
 from repro.tpch.environment import make_environment  # noqa: E402
@@ -237,11 +237,15 @@ def run(scale_factor: float, seed: int, json_mode: bool = False) -> int:
     failures = []
     # the structured twin of the text report; written next to the .txt
     # and printed instead of it under --json
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
     data = {
         "schema_version": SCHEMA_VERSION,
         "kind": "bench_parallel_speedup",
         "scale_factor": scale_factor,
         "seed": seed,
+        "git_sha": history.current_git_sha(str(repo_root)),
+        "timestamp_utc": history.utc_timestamp(),
+        "host": history.host_fingerprint(),
         "disk_streams": streams,
         "cores": os.cpu_count() or 1,
         "worker_counts": list(WORKER_COUNTS),
@@ -340,6 +344,42 @@ def run(scale_factor: float, seed: int, json_mode: bool = False) -> int:
     (results_dir / "parallel_speedup.json").write_text(
         json.dumps(data, sort_keys=True, indent=2) + "\n"
     )
+
+    # --- history ledgers: the speedup trajectory (simulated, hence
+    # deterministic and tightly gateable) and the cost-model drift
+    # trajectory (simulated-vs-measured residuals; measured walls are
+    # host-sensitive, so the host's core count joins the meta and the
+    # sentinel applies its wide measured-class bands).
+    provenance = dict(
+        directory=repo_root,
+        git_sha=data["git_sha"],
+        timestamp=data["timestamp_utc"],
+        host=data["host"],
+    )
+    history.append_record(
+        "parallel_speedup",
+        history.flatten_metrics(
+            {k: data[k] for k in ("queries", "pearson_r", "ok") if data[k] is not None}
+        ),
+        meta={"scale_factor": scale_factor, "seed": seed},
+        **provenance,
+    )
+    drift = history.residual_stats(
+        [
+            (v["simulated_makespan_seconds"], v["measured_wall_seconds"])
+            for v in data["validation"]
+        ]
+    )
+    drift["ok"] = float(data["ok"])
+    history.append_record(
+        "cost_model",
+        drift,
+        meta={
+            "scale_factor": scale_factor, "seed": seed, "cores": data["cores"],
+        },
+        **provenance,
+    )
+
     print(json.dumps(data, sort_keys=True, indent=2) if json_mode else report)
     if failures:
         print("\nFAIL:\n" + "\n".join(f"  - {f}" for f in failures), file=sys.stderr)

@@ -16,6 +16,10 @@ from repro.tpch.queries import QUERIES
 
 from conftest import write_report
 
+#: the fast benchmark set: every pytest bench runs in seconds at the
+#: default SF, so CI appends a ledger record for all of them
+pytestmark = pytest.mark.fast
+
 PART_QUERIES = {q: QUERIES[q] for q in ("Q14", "Q17", "Q19")}
 DATE_QUERIES = {q: QUERIES[q] for q in ("Q03", "Q04", "Q06")}
 

@@ -23,6 +23,10 @@ PART_QUERIES = {q: QUERIES[q] for q in ("Q09", "Q14", "Q16", "Q19")}
 
 from conftest import write_report
 
+#: the fast benchmark set: every pytest bench runs in seconds at the
+#: default SF, so CI appends a ledger record for all of them
+pytestmark = pytest.mark.fast
+
 _rows = {}
 
 

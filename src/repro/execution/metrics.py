@@ -201,6 +201,11 @@ class FragmentActuals:
     #: the measured lane set); both 0.0 on purely simulated runs.
     measured_start_seconds: float = 0.0
     measured_end_seconds: float = 0.0
+    #: top-N cProfile function stats of this fragment's run (wall clock,
+    #: opt-in via ``ExecutionOptions.profile``); empty when profiling is
+    #: off.  Entries: ``{"function", "calls", "total_seconds",
+    #: "cumulative_seconds"}``, sorted by exclusive time descending.
+    profile: List[dict] = field(default_factory=list)
 
     @property
     def queue_wait_seconds(self) -> float:
@@ -269,6 +274,11 @@ class ExecutionMetrics:
     #: it never feeds ``total_seconds``/``wall_seconds``, which stay
     #: deterministic model outputs.
     measured_wall_seconds: float = 0.0
+    #: top-N cProfile function stats of this execution (opt-in via
+    #: ``ExecutionOptions.profile``; see ``repro.observe.profiling``).
+    #: For parallel runs the per-fragment stats live on
+    #: ``fragments[i].profile`` instead and this stays empty.
+    profile: List[dict] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:

@@ -15,20 +15,53 @@ bit-identical with observability on or off:
   per execution, with a validator; the same record shape backs the
   CLIs' ``--json`` modes and the structured benchmark reports;
 * :mod:`repro.observe.registry` — process-wide counters/gauges (cache
-  hits, compactions, epoch bumps) snapshotted into every record.
+  hits, compactions, epoch bumps) snapshotted into every record;
+* :mod:`repro.observe.history` — the benchmark history ledger:
+  schema-versioned ``BENCH_<name>.json`` trajectories at the repo
+  root, one record per benchmark run (git SHA, timestamp, host, flat
+  metric dict);
+* :mod:`repro.observe.regress` — the regression sentinel comparing
+  each ledger's newest record against a robust same-configuration
+  baseline, direction-aware per metric.
 
-``python -m repro.observe FILE...`` validates emitted trace files and
-JSONL logs (the CI ``observe`` job gate).  See ``docs/observability.md``.
+``python -m repro.observe validate|summary|regress ...`` validates
+emitted artifacts, aggregates query logs and gates CI on the ledgers
+(bare ``FILE...`` arguments still validate).  See
+``docs/observability.md``.
 """
 
+from .history import (
+    LEDGER_SCHEMA_VERSION,
+    Ledger,
+    append_record,
+    build_ledger_record,
+    flatten_metrics,
+    ledger_path,
+    ledger_paths,
+    ledger_record_errors,
+    metric_series,
+    read_ledger,
+    residual_stats,
+)
 from .query_log import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     QueryLog,
     build_record,
     plan_fingerprint,
     read_records,
     record_errors,
+    summarize_records,
     validate_record,
+)
+from .regress import (
+    LedgerVerdict,
+    MetricVerdict,
+    RegressionPolicy,
+    check_directory,
+    check_ledger,
+    format_table,
+    metric_direction,
 )
 from .registry import REGISTRY, MetricsRegistry
 from .spans import Span, SpanTracer, fragment_spans, operator_spans, query_span
@@ -36,12 +69,32 @@ from .trace_events import TraceBuilder, validate_trace, validate_trace_events
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "QueryLog",
     "build_record",
     "plan_fingerprint",
     "read_records",
     "record_errors",
+    "summarize_records",
     "validate_record",
+    "LEDGER_SCHEMA_VERSION",
+    "Ledger",
+    "append_record",
+    "build_ledger_record",
+    "flatten_metrics",
+    "ledger_path",
+    "ledger_paths",
+    "ledger_record_errors",
+    "metric_series",
+    "read_ledger",
+    "residual_stats",
+    "LedgerVerdict",
+    "MetricVerdict",
+    "RegressionPolicy",
+    "check_directory",
+    "check_ledger",
+    "format_table",
+    "metric_direction",
     "REGISTRY",
     "MetricsRegistry",
     "Span",

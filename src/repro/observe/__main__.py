@@ -1,16 +1,20 @@
-"""Validate observability artifacts: ``python -m repro.observe FILE...``.
+"""Observability CLI: ``python -m repro.observe <subcommand> ...``.
 
-Accepts any mix of:
+Three subcommands:
 
-* Chrome trace-event JSON files (as written by ``--trace FILE`` or
-  :class:`~repro.observe.trace_events.TraceBuilder.write`);
-* JSONL query logs (``--query-log FILE``), every line validated against
-  the record schema;
-* ``--json`` CLI output documents (an object with a ``records`` list).
+* ``validate FILE...`` — check Chrome trace-event JSON, JSONL query
+  logs, ``--json`` CLI documents and ``BENCH_*.json`` ledgers against
+  their schemas; one summary line per file, nonzero exit on any
+  invalid artifact (the CI ``observe`` job gate).
+* ``summary FILE...`` — aggregate JSONL query logs into per-query
+  p50/p95 simulated seconds, cache hit rates and delta-scan totals.
+* ``regress [LEDGER...]`` — the regression sentinel: compare each
+  benchmark ledger's newest record against the median of prior
+  same-configuration records and exit nonzero with a diff table when a
+  gated metric left its noise band (see :mod:`repro.observe.regress`).
 
-Prints one summary line per file and exits non-zero if anything is
-invalid — the CI ``observe`` job runs this over every artifact it
-emits.
+For backwards compatibility bare ``FILE...`` arguments (no subcommand)
+validate, exactly as before this CLI grew subcommands.
 """
 
 from __future__ import annotations
@@ -20,7 +24,9 @@ import json
 import sys
 from typing import List
 
-from .query_log import read_records, record_errors
+from .history import ledger_record_errors, read_ledger
+from .query_log import read_records, record_errors, summarize_records
+from .regress import RegressionPolicy, check_ledger, check_directory, format_table
 from .trace_events import validate_trace
 
 __all__ = ["main"]
@@ -44,6 +50,12 @@ def _validate_file(path: str) -> List[str]:
         if not errors and not document["traceEvents"]:
             errors = ["no trace events"]
         return errors
+    if isinstance(document, dict) and "ledger_schema_version" in document:
+        ledger = read_ledger(path)
+        errors = list(ledger.errors)
+        if not errors and not ledger.records:
+            errors = ["no records"]
+        return errors
     if isinstance(document, dict) and "records" in document:
         if not document["records"]:
             return ["no records"]
@@ -56,15 +68,9 @@ def _validate_file(path: str) -> List[str]:
     return ["unrecognised document: neither a trace nor a record collection"]
 
 
-def main(argv: List[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.observe",
-        description="Validate trace-event JSON and JSONL query-log files.",
-    )
-    parser.add_argument("files", nargs="+", help="artifacts to validate")
-    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+def _cmd_validate(files: List[str]) -> int:
     failed = False
-    for path in args.files:
+    for path in files:
         try:
             errors = _validate_file(path)
         except (OSError, json.JSONDecodeError) as exc:
@@ -79,6 +85,140 @@ def main(argv: List[str] | None = None) -> int:
         else:
             print(f"{path}: ok")
     return 1 if failed else 0
+
+
+def _format_rate(value) -> str:
+    return "-" if value is None else f"{value:.1%}"
+
+
+def _cmd_summary(files: List[str], as_json: bool) -> int:
+    records = []
+    for path in files:
+        try:
+            records.extend(read_records(path))
+        except OSError as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+            return 1
+    summary = summarize_records(records)
+    if as_json:
+        print(json.dumps(summary, sort_keys=True, indent=2))
+        return 0
+    overall = summary["overall"]
+    print(
+        f"{overall['records']} record(s), {overall['queries']} distinct "
+        f"quer{'y' if overall['queries'] == 1 else 'ies'}"
+    )
+    print(
+        f"  plan cache hit rate:     "
+        f"{_format_rate(overall['plan_cache_hit_rate'])}"
+        + (f"  ({overall['cache_source']})" if overall["cache_source"] else "")
+    )
+    print(
+        f"  fragment cache hit rate: "
+        f"{_format_rate(overall['fragment_cache_hit_rate'])}"
+    )
+    print(f"  delta rows scanned:      {overall['delta_rows_scanned']:.0f}")
+    if summary["queries"]:
+        print(
+            f"  {'query':<28}{'runs':>6}{'p50 sim s':>14}{'p95 sim s':>14}"
+            f"{'delta rows':>12}"
+        )
+        for label in sorted(summary["queries"]):
+            stats = summary["queries"][label]
+            print(
+                f"  {label:<28}{stats['records']:>6}"
+                f"{stats['p50_simulated_seconds']:>14.6f}"
+                f"{stats['p95_simulated_seconds']:>14.6f}"
+                f"{stats['delta_rows_scanned']:>12.0f}"
+            )
+    return 0
+
+
+def _cmd_regress(args) -> int:
+    policy = RegressionPolicy(
+        window=args.window, rel_tolerance=args.rel_tolerance
+    )
+    if args.ledgers:
+        verdicts = [
+            check_ledger(read_ledger(path), policy) for path in args.ledgers
+        ]
+    else:
+        verdicts = check_directory(args.dir, policy)
+    if not verdicts:
+        print("no BENCH_*.json ledgers found")
+        return 0
+    failed = False
+    for verdict in verdicts:
+        print(format_table(verdict, verbose=args.verbose))
+        if not verdict.passed:
+            failed = True
+    print(
+        "regression check: "
+        + ("FAILED" if failed else f"ok ({len(verdicts)} ledger(s))")
+    )
+    return 1 if failed else 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Backwards compatibility: bare FILE arguments validate, as they
+    # did before this CLI grew subcommands.
+    if argv and not argv[0].startswith("-") and argv[0] not in (
+        "validate", "summary", "regress"
+    ):
+        return _cmd_validate(argv)
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observe",
+        description=(
+            "Validate, summarize and regression-gate observability "
+            "artifacts."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_validate = sub.add_parser(
+        "validate", help="validate traces, query logs and ledgers"
+    )
+    p_validate.add_argument("files", nargs="+", help="artifacts to validate")
+
+    p_summary = sub.add_parser(
+        "summary", help="aggregate JSONL query logs into p50/p95 stats"
+    )
+    p_summary.add_argument("files", nargs="+", help="JSONL query logs")
+    p_summary.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    p_regress = sub.add_parser(
+        "regress", help="compare newest ledger records against baselines"
+    )
+    p_regress.add_argument(
+        "ledgers", nargs="*",
+        help="BENCH_*.json files (default: every ledger in --dir)",
+    )
+    p_regress.add_argument(
+        "--dir", default=None,
+        help="ledger directory (default: $REPRO_LEDGER_DIR or repo root)",
+    )
+    p_regress.add_argument(
+        "--window", type=int, default=RegressionPolicy.window,
+        help="baseline = median of up to this many prior records",
+    )
+    p_regress.add_argument(
+        "--rel-tolerance", type=float, default=RegressionPolicy.rel_tolerance,
+        help="noise band for deterministic metrics",
+    )
+    p_regress.add_argument(
+        "--verbose", action="store_true", help="list quiet metrics too"
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "validate":
+        return _cmd_validate(args.files)
+    if args.command == "summary":
+        return _cmd_summary(args.files, args.json)
+    return _cmd_regress(args)
 
 
 if __name__ == "__main__":

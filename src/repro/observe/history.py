@@ -1,0 +1,364 @@
+"""Benchmark history ledger: the repo's empirical perf trajectory.
+
+Every benchmark harness writes a structured JSON report
+(``benchmarks/conftest.write_report(data=)`` and the standalone
+benches); this module *remembers* them.  Each run appends one
+schema-versioned record — git SHA, UTC timestamp, host fingerprint and
+a flat ``{metric: number}`` dict — to a per-benchmark ledger
+``BENCH_<name>.json`` at the repository root, and the reader
+reconstructs per-metric time series from the accumulated records.  The
+regression sentinel (:mod:`repro.observe.regress`,
+``python -m repro.observe regress``) gates CI on those series.
+
+Ledger files are plain JSON documents::
+
+    {"ledger_schema_version": 1,
+     "bench": "parallel_speedup",
+     "records": [{"ledger_schema_version": 1,
+                  "bench": "parallel_speedup",
+                  "git_sha": "...", "timestamp_utc": "...Z",
+                  "host": {"cpu_count": 4, "platform": "...", ...},
+                  "meta": {"scale_factor": 0.01, "seed": 7},
+                  "metrics": {"queries.Q01.speedup.4": 3.6, ...}}, ...]}
+
+``meta`` names the benchmark configuration (scale factor, seed, worker
+grid...); the sentinel only compares records whose ``meta`` matches, so
+a smoke run never regresses against a full-scale one.  Metrics are a
+*flat* dotted-name → number mapping (:func:`flatten_metrics` collapses
+a nested report); metric names double as the direction hint the
+sentinel uses (``...seconds``/``...error`` lower-is-better,
+``...speedup``/``...pearson_r`` higher-is-better).
+
+Appends are read-modify-write with an atomic rename, and the reader
+rejects corrupted records individually (:func:`ledger_record_errors`)
+so one bad append cannot poison a whole trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+import platform
+import subprocess
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "LEDGER_SCHEMA_VERSION",
+    "LEDGER_PREFIX",
+    "host_fingerprint",
+    "current_git_sha",
+    "utc_timestamp",
+    "flatten_metrics",
+    "build_ledger_record",
+    "ledger_record_errors",
+    "Ledger",
+    "ledger_path",
+    "default_ledger_dir",
+    "append_record",
+    "read_ledger",
+    "ledger_paths",
+    "metric_series",
+    "residual_stats",
+]
+
+LEDGER_SCHEMA_VERSION = 1
+#: ledger files are ``BENCH_<name>.json`` at the repository root.
+LEDGER_PREFIX = "BENCH_"
+
+
+# ------------------------------------------------------------ provenance
+def host_fingerprint() -> Dict[str, object]:
+    """Where a record was produced: enough to explain why measured
+    (wall-clock) metrics differ between records, never used to *gate*
+    — the sentinel groups records by ``meta``, not by host."""
+    return {
+        "cpu_count": int(os.cpu_count() or 1),
+        "platform": platform.system().lower(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
+
+
+def current_git_sha(cwd: Optional[str] = None) -> str:
+    """The checked-out commit, or ``"unknown"`` outside a git repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def utc_timestamp() -> str:
+    """ISO-8601 UTC with a trailing ``Z`` (sortable, timezone-safe)."""
+    return (
+        datetime.now(timezone.utc).replace(microsecond=0).isoformat()
+        .replace("+00:00", "Z")
+    )
+
+
+# --------------------------------------------------------------- metrics
+def flatten_metrics(data: dict, prefix: str = "") -> Dict[str, float]:
+    """Collapse a nested benchmark report into dotted-name metrics.
+
+    Numbers are kept (bools as 0/1 — ``ok`` flags become gateable),
+    dicts recurse with dotted prefixes, lists recurse with the index as
+    a path segment; strings and nulls (and non-finite floats, which
+    JSON cannot round-trip) are dropped."""
+    flat: Dict[str, float] = {}
+    items: Sequence[Tuple[str, object]]
+    if isinstance(data, dict):
+        items = [(str(key), value) for key, value in data.items()]
+    else:
+        items = [(str(position), value) for position, value in enumerate(data)]
+    for key, value in items:
+        name = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, bool):
+            flat[name] = float(value)
+        elif isinstance(value, (int, float)):
+            if math.isfinite(value):
+                flat[name] = float(value)
+        elif isinstance(value, (dict, list)):
+            flat.update(flatten_metrics(value, name))
+    return flat
+
+
+# --------------------------------------------------------------- records
+def build_ledger_record(
+    name: str,
+    metrics: Dict[str, float],
+    *,
+    meta: Optional[dict] = None,
+    git_sha: Optional[str] = None,
+    timestamp: Optional[str] = None,
+    host: Optional[dict] = None,
+) -> dict:
+    """One self-describing trajectory point for benchmark ``name``."""
+    record = {
+        "ledger_schema_version": LEDGER_SCHEMA_VERSION,
+        "bench": str(name),
+        "git_sha": current_git_sha() if git_sha is None else str(git_sha),
+        "timestamp_utc": utc_timestamp() if timestamp is None else str(timestamp),
+        "host": host_fingerprint() if host is None else dict(host),
+        "meta": dict(meta or {}),
+        "metrics": {
+            str(metric): float(value) for metric, value in metrics.items()
+        },
+    }
+    errors = ledger_record_errors(record)
+    if errors:
+        raise ValueError("invalid ledger record: " + "; ".join(errors[:5]))
+    return record
+
+
+def ledger_record_errors(record) -> List[str]:
+    """Schema problems of one ledger record (empty = valid)."""
+    if not isinstance(record, dict):
+        return ["record is not an object"]
+    errors: List[str] = []
+    for key, types in (
+        ("ledger_schema_version", int),
+        ("bench", str),
+        ("git_sha", str),
+        ("timestamp_utc", str),
+        ("host", dict),
+        ("meta", dict),
+        ("metrics", dict),
+    ):
+        if not isinstance(record.get(key), types):
+            errors.append(f"{key}: missing or not a {types.__name__}")
+    if errors:
+        return errors
+    if record["ledger_schema_version"] != LEDGER_SCHEMA_VERSION:
+        errors.append(
+            f"ledger_schema_version {record['ledger_schema_version']} "
+            f"!= {LEDGER_SCHEMA_VERSION}"
+        )
+    for metric, value in record["metrics"].items():
+        if not isinstance(metric, str):
+            errors.append(f"metrics: non-string name {metric!r}")
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            errors.append(f"metrics[{metric}]: not a number")
+    return errors
+
+
+# ---------------------------------------------------------------- ledger
+@dataclass
+class Ledger:
+    """One benchmark's loaded trajectory: valid records in append order
+    plus the problems of any rejected ones."""
+
+    name: str
+    path: Optional[str] = None
+    records: List[dict] = field(default_factory=list)
+    #: per-rejected-record problem descriptions (corruption never
+    #: silently truncates a trajectory — it is reported).
+    errors: List[str] = field(default_factory=list)
+
+    def series(self, metric: str) -> List[Tuple[str, float]]:
+        return metric_series(self, metric)
+
+    def metric_names(self) -> List[str]:
+        names = set()
+        for record in self.records:
+            names.update(record["metrics"])
+        return sorted(names)
+
+
+def default_ledger_dir(fallback: Optional[pathlib.Path] = None) -> pathlib.Path:
+    """Where ``BENCH_*.json`` ledgers live: ``$REPRO_LEDGER_DIR`` if
+    set, else the caller-supplied fallback (benchmark harnesses pass
+    their repo root), else the nearest ancestor of the working
+    directory that looks like a repository root."""
+    env = os.environ.get("REPRO_LEDGER_DIR")
+    if env:
+        return pathlib.Path(env)
+    if fallback is not None:
+        return pathlib.Path(fallback)
+    here = pathlib.Path.cwd()
+    for candidate in (here, *here.parents):
+        if (candidate / "pyproject.toml").exists() or (candidate / ".git").exists():
+            return candidate
+    return here
+
+
+def ledger_path(name: str, directory=None) -> pathlib.Path:
+    return pathlib.Path(
+        default_ledger_dir(directory)
+    ) / f"{LEDGER_PREFIX}{name}.json"
+
+
+def ledger_paths(directory=None) -> List[pathlib.Path]:
+    """Every ``BENCH_*.json`` ledger in ``directory``, sorted by name."""
+    return sorted(
+        pathlib.Path(default_ledger_dir(directory)).glob(f"{LEDGER_PREFIX}*.json")
+    )
+
+
+def read_ledger(path, *, name: Optional[str] = None) -> Ledger:
+    """Load a ledger, keeping valid records and reporting corrupted
+    ones (a missing file is an empty ledger, so the first append and
+    the sentinel's "nothing yet" case need no special-casing)."""
+    path = pathlib.Path(path)
+    inferred = path.stem[len(LEDGER_PREFIX):] if path.stem.startswith(
+        LEDGER_PREFIX
+    ) else path.stem
+    ledger = Ledger(name=name or inferred, path=str(path))
+    if not path.exists():
+        return ledger
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        ledger.errors.append(f"unreadable ledger: {exc}")
+        return ledger
+    if not isinstance(document, dict) or not isinstance(
+        document.get("records"), list
+    ):
+        ledger.errors.append("ledger document is not {.., records: [...]}")
+        return ledger
+    if document.get("ledger_schema_version") != LEDGER_SCHEMA_VERSION:
+        ledger.errors.append(
+            f"ledger_schema_version {document.get('ledger_schema_version')} "
+            f"!= {LEDGER_SCHEMA_VERSION}"
+        )
+        return ledger
+    for position, record in enumerate(document["records"]):
+        problems = ledger_record_errors(record)
+        if problems:
+            ledger.errors.extend(
+                f"records[{position}]: {problem}" for problem in problems
+            )
+        else:
+            ledger.records.append(record)
+    return ledger
+
+
+def append_record(
+    name: str,
+    metrics: Dict[str, float],
+    *,
+    meta: Optional[dict] = None,
+    directory=None,
+    git_sha: Optional[str] = None,
+    timestamp: Optional[str] = None,
+    host: Optional[dict] = None,
+) -> dict:
+    """Append one record to ``BENCH_<name>.json`` (created on first
+    use) and return it.  Read-modify-write with an atomic rename, so a
+    crashed benchmark can truncate at worst its own append.  Corrupted
+    records already in the file are dropped by the rewrite — the
+    reader refuses them anyway, and keeping them would re-report the
+    same corruption on every subsequent run."""
+    path = ledger_path(name, directory)
+    ledger = read_ledger(path, name=name)
+    record = build_ledger_record(
+        name, metrics, meta=meta, git_sha=git_sha, timestamp=timestamp, host=host
+    )
+    document = {
+        "ledger_schema_version": LEDGER_SCHEMA_VERSION,
+        "bench": str(name),
+        "records": ledger.records + [record],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    scratch = path.with_suffix(".json.tmp")
+    scratch.write_text(json.dumps(document, sort_keys=True, indent=2) + "\n")
+    scratch.replace(path)
+    return record
+
+
+def metric_series(ledger: Ledger, metric: str) -> List[Tuple[str, float]]:
+    """The ``(timestamp_utc, value)`` trajectory of one metric, in
+    append order, skipping records that do not carry it."""
+    return [
+        (record["timestamp_utc"], record["metrics"][metric])
+        for record in ledger.records
+        if metric in record["metrics"]
+    ]
+
+
+# ------------------------------------------------------ cost-model drift
+def residual_stats(points: Sequence[Tuple[float, float]]) -> Dict[str, float]:
+    """Simulated-vs-measured residual summary for the cost-model drift
+    ledger.
+
+    ``points`` are ``(simulated_seconds, measured_seconds)`` pairs.
+    Simulated charges and measured walls live in different units, so
+    residuals are taken against the least-squares *scale* fit
+    ``measured ≈ a × simulated`` — what the cost model claims to
+    predict is the shape, not the absolute wall.  Returns the Pearson
+    correlation, the fitted scale and the median/mean relative
+    residuals (``|measured - a·sim| / measured``)."""
+    pairs = [
+        (float(s), float(m)) for s, m in points if s > 0.0 and m > 0.0
+    ]
+    stats: Dict[str, float] = {"points": float(len(pairs))}
+    if len(pairs) < 2:
+        return stats
+    sims = [s for s, _ in pairs]
+    walls = [m for _, m in pairs]
+    scale = sum(s * m for s, m in pairs) / sum(s * s for s in sims)
+    residuals = sorted(abs(m - scale * s) / m for s, m in pairs)
+    middle = len(residuals) // 2
+    median = (
+        residuals[middle]
+        if len(residuals) % 2
+        else 0.5 * (residuals[middle - 1] + residuals[middle])
+    )
+    mean_s = sum(sims) / len(sims)
+    mean_m = sum(walls) / len(walls)
+    cov = sum((s - mean_s) * (m - mean_m) for s, m in pairs)
+    var_s = sum((s - mean_s) ** 2 for s in sims)
+    var_m = sum((m - mean_m) ** 2 for m in walls)
+    stats["scale"] = scale
+    stats["median_rel_error"] = median
+    stats["mean_rel_error"] = sum(residuals) / len(residuals)
+    if var_s > 0.0 and var_m > 0.0:
+        stats["pearson_r"] = cov / math.sqrt(var_s * var_m)
+    return stats

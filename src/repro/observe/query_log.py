@@ -17,7 +17,14 @@ emitted record to it.
 
 Records are plain JSON: floats, ints, strings, lists, string-keyed
 dicts.  ``SCHEMA_VERSION`` bumps whenever a required field changes
-meaning; adding optional fields is compatible.
+meaning; adding optional fields is compatible.  Version 2 added the
+per-record ``registry_delta`` (counter increments since the previous
+record, next to the cumulative ``registry`` snapshot — in a suite run
+record N's cumulative snapshot includes all prior queries' counters,
+so per-execution churn needs the delta) and the optional per-fragment
+``profile`` entries (top-N cProfile stats when
+``ExecutionOptions.profile`` was on); the validator accepts both
+versions.
 """
 
 from __future__ import annotations
@@ -32,15 +39,19 @@ from .registry import REGISTRY, MetricsRegistry
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "plan_fingerprint",
     "build_record",
     "record_errors",
     "validate_record",
     "QueryLog",
     "read_records",
+    "summarize_records",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+#: versions ``record_errors`` accepts — old logs keep validating.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 
 # ---------------------------------------------------------- fingerprints
@@ -104,6 +115,7 @@ def _fragment_entries(metrics: ExecutionMetrics) -> List[dict]:
             "measured_seconds": float(f.measured_seconds),
             "measured_start_seconds": float(f.measured_start_seconds),
             "measured_end_seconds": float(f.measured_end_seconds),
+            "profile": [dict(entry) for entry in f.profile],
         }
         for f in metrics.fragments
     ]
@@ -174,6 +186,10 @@ def build_record(
         "operators": _operator_entries(metrics),
         "fragments": _fragment_entries(metrics),
         "registry": registry.snapshot(),
+        # counter increments attributable to *this* record, next to the
+        # cumulative snapshot above (which includes every prior query's
+        # counters in a suite run)
+        "registry_delta": {"counters": registry.delta_since_last()},
     }
     if relation is not None:
         record["result"] = {
@@ -205,6 +221,8 @@ _TOP_LEVEL = {
     "operators": (list, True),
     "fragments": (list, True),
     "registry": (dict, True),
+    # required in schema version 2, absent in version 1
+    "registry_delta": (dict, False),
     "result": (dict, False),
 }
 
@@ -227,6 +245,12 @@ _FRAGMENT_KEYS = {
     "cpu_seconds": _NUMBER, "rows_out": _NUMBER, "output_bytes": _NUMBER,
     "peak_memory_bytes": _NUMBER, "measured_seconds": _NUMBER,
     "measured_start_seconds": _NUMBER, "measured_end_seconds": _NUMBER,
+}
+
+#: per-fragment cProfile entries (schema version 2, opt-in profiling).
+_PROFILE_KEYS = {
+    "function": str, "calls": _NUMBER,
+    "total_seconds": _NUMBER, "cumulative_seconds": _NUMBER,
 }
 
 
@@ -258,10 +282,21 @@ def record_errors(record) -> List[str]:
             errors.append(f"unknown field {name!r}")
     if errors:
         return errors
-    if record["schema_version"] != SCHEMA_VERSION:
+    version = record["schema_version"]
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
         errors.append(
-            f"schema_version {record['schema_version']} != {SCHEMA_VERSION}"
+            f"schema_version {version} not in {SUPPORTED_SCHEMA_VERSIONS}"
         )
+    if version >= 2 and "registry_delta" not in record:
+        errors.append("registry_delta: required from schema version 2 on")
+    if "registry_delta" in record:
+        delta = record["registry_delta"]
+        if not isinstance(delta.get("counters"), dict):
+            errors.append("registry_delta.counters: missing or not an object")
+        else:
+            _check_mapping(
+                errors, "registry_delta.counters", delta["counters"], _NUMBER
+            )
     for key in _SIMULATED_KEYS:
         if key not in record["simulated"]:
             errors.append(f"simulated.{key} missing")
@@ -305,6 +340,19 @@ def record_errors(record) -> List[str]:
         ):
             if entry["end_seconds"] < entry["start_seconds"]:
                 errors.append(f"{where}: end_seconds before start_seconds")
+        profile = entry.get("profile", [])
+        if not isinstance(profile, list):
+            errors.append(f"{where}.profile: not a list")
+            continue
+        for slot, stat in enumerate(profile):
+            if not isinstance(stat, dict):
+                errors.append(f"{where}.profile[{slot}]: not an object")
+                continue
+            for key, types in _PROFILE_KEYS.items():
+                if not isinstance(stat.get(key), types):
+                    errors.append(
+                        f"{where}.profile[{slot}].{key}: missing or wrong type"
+                    )
     return errors
 
 
@@ -354,3 +402,72 @@ def read_records(path: str) -> List[dict]:
             if line:
                 records.append(json.loads(line))
     return records
+
+
+# --------------------------------------------------------------- summary
+def _percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile (exact for the small per-query samples a
+    log holds; no interpolation surprises)."""
+    ordered = sorted(values)
+    rank = max(int(-(-len(ordered) * fraction // 1)), 1)  # ceil
+    return ordered[rank - 1]
+
+
+def _hit_rate(counters: Dict[str, float], prefix: str) -> Optional[float]:
+    hits = counters.get(f"{prefix}.hits", 0.0)
+    misses = counters.get(f"{prefix}.misses", 0.0)
+    total = hits + misses
+    return hits / total if total > 0 else None
+
+
+def summarize_records(records: List[dict]) -> dict:
+    """Aggregate query-log records into a per-label latency/cache view.
+
+    Returns ``{"queries": {label: {...}}, "overall": {...}}``: per label
+    the record count, p50/p95 simulated seconds and delta-scan totals;
+    overall the record count, total delta rows and the plan-/fragment-
+    cache hit rates.  Cache rates come from the version-2 per-record
+    ``registry_delta`` counters summed over the log; version-1 records
+    only carry cumulative snapshots, so for an all-v1 log the last
+    record's cumulative registry is used instead (marked by
+    ``overall["cache_source"]``)."""
+    queries: Dict[str, dict] = {}
+    by_label: Dict[str, List[dict]] = {}
+    for record in records:
+        by_label.setdefault(record.get("label", "?"), []).append(record)
+    delta_counters: Dict[str, float] = {}
+    deltas_seen = False
+    for record in records:
+        for name, value in (
+            record.get("registry_delta", {}).get("counters", {}).items()
+        ):
+            deltas_seen = True
+            delta_counters[name] = delta_counters.get(name, 0.0) + value
+    for label, group in sorted(by_label.items()):
+        seconds = [r["simulated"]["total_seconds"] for r in group]
+        queries[label] = {
+            "records": len(group),
+            "p50_simulated_seconds": _percentile(seconds, 0.50),
+            "p95_simulated_seconds": _percentile(seconds, 0.95),
+            "delta_rows_scanned": int(
+                sum(r["simulated"]["delta_rows_scanned"] for r in group)
+            ),
+        }
+    if deltas_seen:
+        cache_counters, cache_source = delta_counters, "registry_delta"
+    else:
+        cache_counters = (
+            records[-1].get("registry", {}).get("counters", {}) if records else {}
+        )
+        cache_source = "cumulative (v1 log)"
+    overall = {
+        "records": len(records),
+        "queries": len(queries),
+        "delta_rows_scanned": int(
+            sum(q["delta_rows_scanned"] for q in queries.values())
+        ),
+        "plan_cache_hit_rate": _hit_rate(cache_counters, "plan_cache"),
+        "fragment_cache_hit_rate": _hit_rate(cache_counters, "fragment_cache"),
+        "cache_source": cache_source,
+    }
+    return {"queries": queries, "overall": overall}

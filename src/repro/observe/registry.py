@@ -41,6 +41,9 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
+        #: counter values at the previous ``delta_since_last`` call —
+        #: the baseline the next per-record delta is computed against.
+        self._delta_base: Dict[str, float] = {}
 
     def inc(self, name: str, amount: float = 1.0) -> None:
         """Bump a counter (created at zero on first sight)."""
@@ -61,10 +64,27 @@ class MetricsRegistry:
             "gauges": dict(self.gauges),
         }
 
+    def delta_since_last(self) -> Dict[str, float]:
+        """Counter increments since the previous call (and advance the
+        baseline to now).  The cumulative ``snapshot`` embeds the whole
+        process history into every record — record N of a suite run
+        includes all prior queries' counters — so consumers that want
+        *this execution's* churn read the per-record delta instead.
+        Only counters that moved appear; the first call returns every
+        nonzero counter."""
+        delta = {
+            name: value - self._delta_base.get(name, 0.0)
+            for name, value in self.counters.items()
+            if value != self._delta_base.get(name, 0.0)
+        }
+        self._delta_base = dict(self.counters)
+        return delta
+
     def reset(self) -> None:
         """Forget everything (tests; never called by the engine)."""
         self.counters = {}
         self.gauges = {}
+        self._delta_base = {}
 
 
 #: the process-wide registry every engine component reports into.

@@ -49,6 +49,7 @@ from ..execution.cost import CostModel
 from ..execution.metrics import ExecutionMetrics
 from ..execution.operators import ExecutionContext, walk_physical
 from ..execution.relation import Relation
+from ..observe.profiling import profile_call
 from ..storage.io_model import DiskModel
 from .fragments import Fragment, ParallelPlan
 from .scheduler import merge_parallel_metrics, run_parallel
@@ -207,21 +208,24 @@ def _loads_shared(payload: bytes):
 def _run_fragment_task(payload: bytes, deps_blob: bytes):
     """Executes one fragment in a pool worker.
 
-    The payload carries ``(index, fragment root, disk, costs)`` with
-    base arrays as shared-memory references; ``deps_blob`` carries the
-    plainly pickled results of the fragment's dependencies.  Returns the
-    fragment's relation, its metrics (operator actuals re-listed in
+    The payload carries ``(index, fragment root, disk, costs, profile)``
+    with base arrays as shared-memory references; ``deps_blob`` carries
+    the plainly pickled results of the fragment's dependencies.  Returns
+    the fragment's relation, its metrics (operator actuals re-listed in
     pre-order walk position, since ``id()`` keys do not survive the
     process boundary) and the measured wall-clock window as absolute
     ``perf_counter`` timestamps — with the fork start method the clock
     is shared with the parent, which rebases the window onto the run's
-    origin to place the fragment on the measured timeline."""
-    index, root, disk, costs = _loads_shared(payload)
+    origin to place the fragment on the measured timeline.  With
+    ``profile`` the worker runs the fragment under ``cProfile`` and the
+    top functions travel back on ``metrics.profile`` (plain dicts, so
+    they pickle like everything else)."""
+    index, root, disk, costs, profile = _loads_shared(payload)
     deps: Dict[int, Relation] = pickle.loads(deps_blob)
     metrics = ExecutionMetrics()
     ctx = ExecutionContext(disk, costs, metrics, fragment_results=deps)
     started = time.perf_counter()
-    relation = root.run(ctx)
+    relation, metrics.profile = profile_call(root.run, ctx, enabled=profile)
     ended = time.perf_counter()
     ctx.release_all()
     metrics.rows_produced = relation.num_rows
@@ -237,7 +241,8 @@ class ExecutionBackend:
     name = "abstract"
 
     def run(
-        self, plan: ParallelPlan, disk: DiskModel, costs: CostModel
+        self, plan: ParallelPlan, disk: DiskModel, costs: CostModel,
+        profile: bool = False,
     ) -> Tuple[Relation, ExecutionMetrics]:
         raise NotImplementedError
 
@@ -251,8 +256,8 @@ class SimulatedBackend(ExecutionBackend):
 
     name = "simulated"
 
-    def run(self, plan, disk, costs):
-        return run_parallel(plan, disk, costs)
+    def run(self, plan, disk, costs, profile=False):
+        return run_parallel(plan, disk, costs, profile=profile)
 
 
 class ProcessBackend(ExecutionBackend):
@@ -308,10 +313,10 @@ class ProcessBackend(ExecutionBackend):
             pass
 
     # -------------------------------------------------------------- run
-    def run(self, plan, disk, costs):
+    def run(self, plan, disk, costs, profile=False):
         started = time.perf_counter()
         if len(plan.fragments) <= 1:  # degenerate: nothing to dispatch
-            relation, merged = run_parallel(plan, disk, costs)
+            relation, merged = run_parallel(plan, disk, costs, profile=profile)
             merged.backend = self.name
             merged.measured_wall_seconds = time.perf_counter() - started
             return relation, merged
@@ -333,7 +338,8 @@ class ProcessBackend(ExecutionBackend):
 
         def submit(fragment: Fragment) -> None:
             payload = _dumps_shared(
-                (fragment.index, fragment.root, disk, costs), self._store
+                (fragment.index, fragment.root, disk, costs, profile),
+                self._store,
             )
             deps_blob = pickle.dumps(
                 {dep: results[dep] for dep in fragment.depends_on},
@@ -384,7 +390,9 @@ class ProcessBackend(ExecutionBackend):
         metrics = ExecutionMetrics()
         ctx = ExecutionContext(disk, costs, metrics, fragment_results=results)
         tail_start = time.perf_counter()
-        relation = final.root.run(ctx)
+        relation, metrics.profile = profile_call(
+            final.root.run, ctx, enabled=profile
+        )
         measured[final.index] = (tail_start - started, time.perf_counter() - started)
         ctx.release_all()
         metrics.rows_produced = relation.num_rows

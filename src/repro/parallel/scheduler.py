@@ -48,6 +48,7 @@ from ..execution.metrics import (
 )
 from ..execution.operators import ExecutionContext
 from ..execution.relation import Relation
+from ..observe.profiling import profile_call
 from ..storage.io_model import DiskModel
 from .fragments import ParallelPlan
 
@@ -205,6 +206,7 @@ def execute_fragments(
     plan: ParallelPlan,
     disk: DiskModel,
     costs: CostModel,
+    profile: bool = False,
 ) -> Tuple[Dict[int, Relation], Dict[int, ExecutionMetrics]]:
     """The *run* stage: execute every fragment once, in topological
     order, in the current process — producing exact results and each
@@ -212,13 +214,18 @@ def execute_fragments(
     fragments elsewhere (``repro.parallel.backends.ProcessBackend``)
     replace exactly this function; the *time* stage
     (:func:`merge_parallel_metrics`) is shared so the simulated charges
-    are identical whichever backend produced the results."""
+    are identical whichever backend produced the results.  With
+    ``profile`` each fragment runs under ``cProfile`` and its top
+    functions land on ``metrics.profile`` (passive: charges and results
+    are unaffected)."""
     results: Dict[int, Relation] = {}
     fragment_metrics: Dict[int, ExecutionMetrics] = {}
     for fragment in plan.fragments:  # topological by construction
         metrics = ExecutionMetrics()
         ctx = ExecutionContext(disk, costs, metrics, fragment_results=results)
-        relation = fragment.root.run(ctx)
+        relation, metrics.profile = profile_call(
+            fragment.root.run, ctx, enabled=profile
+        )
         ctx.release_all()
         metrics.rows_produced = relation.num_rows
         results[fragment.index] = relation
@@ -310,6 +317,7 @@ def merge_parallel_metrics(
                 rows_out=relation.num_rows,
                 output_bytes=output_bytes,
                 peak_memory_bytes=metrics.memory.peak_bytes,
+                profile=list(metrics.profile),
             )
         )
     merged.memory.peak_bytes = concurrent_peak(memory_intervals)
@@ -326,6 +334,7 @@ def run_parallel(
     plan: ParallelPlan,
     disk: DiskModel,
     costs: CostModel,
+    profile: bool = False,
 ) -> Tuple[Relation, ExecutionMetrics]:
     """Execute a fragmented plan on the simulated worker pool and return
     the final fragment's relation plus the merged metrics.
@@ -339,5 +348,7 @@ def run_parallel(
     memory is the concurrent peak over fragment reservations plus every
     exchanged (broadcast, partition gather, or rebin shuffle) producer
     buffer held until its last consumer finishes."""
-    results, fragment_metrics = execute_fragments(plan, disk, costs)
+    results, fragment_metrics = execute_fragments(
+        plan, disk, costs, profile=profile
+    )
     return merge_parallel_metrics(plan, results, fragment_metrics, disk)

@@ -37,6 +37,7 @@ from ..execution.cost import DEFAULT_COSTS, CostModel
 from ..execution.metrics import ExecutionMetrics, FragmentActuals
 from ..execution.operators import ExecutionContext
 from ..execution.relation import Relation
+from ..observe.profiling import profile_call
 from ..observe.registry import REGISTRY
 from ..parallel.backends import ExecutionBackend, create_backend
 from ..parallel.fragments import ParallelPlan, plan_fragments
@@ -206,7 +207,8 @@ class Executor:
                     workers=parallel.workers, fragments=len(parallel.fragments),
                 ):
                     relation, metrics = self.backend().run(
-                        parallel, self.disk, self.costs
+                        parallel, self.disk, self.costs,
+                        profile=self.options.profile,
                     )
                 self.metrics = metrics
                 return QueryResult(relation, metrics)
@@ -214,7 +216,10 @@ class Executor:
         self.metrics = metrics
         ctx = ExecutionContext(self.disk, self.costs, metrics)
         with self._span("execute", backend="serial", workers=1):
-            relation = pplan.root.run(ctx)
+            relation, profile = profile_call(
+                pplan.root.run, ctx, enabled=self.options.profile
+            )
+        metrics.profile = profile
         metrics.rows_produced = relation.num_rows
         ctx.release_all()
         # a serial run is one fragment on one worker: wall clock is the
@@ -232,6 +237,7 @@ class Executor:
                 cpu_seconds=metrics.cpu_seconds,
                 rows_out=relation.num_rows,
                 peak_memory_bytes=metrics.peak_memory_bytes,
+                profile=profile,
             )
         )
         return QueryResult(relation, metrics)

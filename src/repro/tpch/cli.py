@@ -172,6 +172,14 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
             "shape) instead of the text tables"
         ),
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "run every fragment under cProfile and attach the top "
+            "functions to query-log records and trace slices (passive: "
+            "simulated charges and results are unchanged)"
+        ),
+    )
     return parser.parse_args(argv)
 
 
@@ -193,6 +201,7 @@ def main(argv: List[str] | None = None) -> int:
         enable_pushdown=not args.no_pushdown,
         workers=max(args.workers, 1),
         backend=args.backend,
+        profile=args.profile,
     )
     sink = ObservabilitySink(
         args.trace, args.query_log, collect=args.json, options=options

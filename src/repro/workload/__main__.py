@@ -8,6 +8,7 @@ naive reference evaluator.  Exits non-zero on any result divergence.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import time
@@ -143,6 +144,14 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
             "default-variant query-log records) instead of the text report"
         ),
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "run every sweep variant's fragments under cProfile and attach "
+            "the top functions to query-log records and trace slices "
+            "(passive: the oracle's result contracts are unaffected)"
+        ),
+    )
     return parser.parse_args(argv)
 
 
@@ -172,6 +181,12 @@ def main(argv: List[str] | None = None) -> int:
                 [n for n in counts if n > 1], backend=args.backend
             )
         )
+
+    if args.profile:
+        variants = {
+            name: dataclasses.replace(options, profile=True)
+            for name, options in variants.items()
+        }
 
     sink = _Sink(args.trace, args.query_log, collect=args.json)
     observer = sink.observe if sink.enabled else None

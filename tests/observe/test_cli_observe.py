@@ -1,12 +1,15 @@
-"""The CLIs' observability surfaces: ``--trace``, ``--query-log`` and
-``--json`` on ``repro.tpch`` and ``repro.workload``, plus numeric query
-id normalization."""
+"""The CLIs' observability surfaces: ``--trace``, ``--query-log``,
+``--json`` and ``--profile`` on ``repro.tpch`` and ``repro.workload``,
+numeric query id normalization, and the ``repro.observe`` subcommands
+(validate / summary / regress)."""
 
 import json
 
 import pytest
 
 from repro.observe import read_records, record_errors, validate_trace
+from repro.observe.__main__ import main as observe_main
+from repro.observe.history import append_record
 from repro.tpch.cli import main as tpch_main
 from repro.tpch.cli import normalize_query_id
 from repro.workload.__main__ import main as workload_main
@@ -72,6 +75,96 @@ class TestTpchCli:
         assert code == 0
         (record,) = read_records(str(log))
         assert record_errors(record) == []
+
+
+class TestProfileFlag:
+    def test_profile_reaches_the_query_log(self, tmp_path, capsys):
+        log = tmp_path / "log.jsonl"
+        code = tpch_main(
+            SMALL
+            + ["--queries", "1", "--workers", "2", "--profile",
+               "--query-log", str(log)]
+        )
+        assert code == 0
+        (record,) = read_records(str(log))
+        assert record_errors(record) == []
+        assert any(f.get("profile") for f in record["fragments"])
+
+    def test_workload_profile_flag(self, capsys):
+        code = workload_main(
+            ["--queries", "1", "--variants", "default", "--sf", "0.002",
+             "--profile", "--json"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["report"]["ok"] is True
+
+
+class TestObserveCli:
+    def _write_log(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        assert tpch_main(
+            SMALL + ["--queries", "6", "--query-log", str(log)]
+        ) == 0
+        return log
+
+    def test_validate_subcommand(self, tmp_path, capsys):
+        log = self._write_log(tmp_path)
+        capsys.readouterr()
+        assert observe_main(["validate", str(log)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_bare_file_args_still_validate(self, tmp_path, capsys):
+        log = self._write_log(tmp_path)
+        capsys.readouterr()
+        assert observe_main([str(log)]) == 0
+
+    def test_validate_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"not": "a record"}\n')
+        assert observe_main(["validate", str(bad)]) == 1
+
+    def test_validate_accepts_ledger_documents(self, tmp_path, capsys):
+        append_record("demo", {"q.seconds": 1.0}, directory=tmp_path)
+        assert observe_main(
+            ["validate", str(tmp_path / "BENCH_demo.json")]
+        ) == 0
+
+    def test_summary_subcommand(self, tmp_path, capsys):
+        log = self._write_log(tmp_path)
+        capsys.readouterr()
+        assert observe_main(["summary", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "Q06/bdcc" in out
+
+    def test_summary_json(self, tmp_path, capsys):
+        log = self._write_log(tmp_path)
+        capsys.readouterr()
+        assert observe_main(["summary", "--json", str(log)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["overall"]["records"] == 1
+
+    def test_regress_green_directory(self, tmp_path, capsys):
+        for value in (1.0, 1.0, 1.02):
+            append_record("demo", {"q.seconds": value}, directory=tmp_path)
+        assert observe_main(["regress", "--dir", str(tmp_path)]) == 0
+        assert "regression check: ok" in capsys.readouterr().out
+
+    def test_regress_fails_on_injected_regression(self, tmp_path, capsys):
+        for value in (1.0, 1.0, 1.0, 2.0):
+            append_record("demo", {"q.makespan_seconds": value},
+                          directory=tmp_path)
+        assert observe_main(["regress", "--dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "q.makespan_seconds" in out
+
+    def test_regress_explicit_files_and_tolerance(self, tmp_path, capsys):
+        for value in (1.0, 1.0, 1.3):
+            append_record("demo", {"q.seconds": value}, directory=tmp_path)
+        path = str(tmp_path / "BENCH_demo.json")
+        assert observe_main(["regress", path]) == 1
+        assert observe_main(["regress", "--rel-tolerance", "0.5", path]) == 0
 
 
 class TestWorkloadCli:

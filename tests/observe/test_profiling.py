@@ -1,0 +1,177 @@
+"""Per-fragment profiling: the profiler must be passive (bit-identical
+results and simulated charges with it on or off), its stats must have
+the documented shape, and profile slices must survive the trace
+validator."""
+
+import numpy as np
+import pytest
+
+from repro.observe.profiling import TOP_FUNCTIONS, profile_call, top_functions
+from repro.observe.trace_events import TraceBuilder, validate_trace_events
+from repro.planner.executor import ExecutionOptions, Executor
+from repro.tpch.queries import QUERIES
+from repro.tpch.runner import QueryRunner
+
+
+def _run(pdb, environment, qname, workers=1, backend="simulated",
+         profile=False):
+    executor = Executor(
+        pdb,
+        disk=environment.disk,
+        costs=environment.cost_model,
+        options=ExecutionOptions(
+            workers=workers,
+            min_partition_rows=256,
+            backend=backend,
+            profile=profile,
+        ),
+    )
+    try:
+        runner = QueryRunner(executor)
+        result = QUERIES[qname](runner)
+        return result.relation, runner.metrics
+    finally:
+        executor.close()
+
+
+def _identical(a, b) -> bool:
+    if a.column_names != b.column_names or a.num_rows != b.num_rows:
+        return False
+    for name in a.column_names:
+        x, y = a.column(name), b.column(name)
+        equal = (
+            np.array_equal(x, y, equal_nan=True)
+            if x.dtype.kind == "f" and y.dtype.kind == "f"
+            else np.array_equal(x, y)
+        )
+        if not equal:
+            return False
+    return True
+
+
+class TestProfileCall:
+    def test_disabled_is_the_identity(self):
+        result, stats = profile_call(sorted, [3, 1, 2], enabled=False)
+        assert result == [1, 2, 3]
+        assert stats == []
+
+    def test_enabled_returns_result_and_stats(self):
+        def work():
+            return sum(range(1000))
+
+        result, stats = profile_call(work, enabled=True)
+        assert result == sum(range(1000))
+        assert stats
+        assert len(stats) <= TOP_FUNCTIONS
+        for entry in stats:
+            assert set(entry) == {
+                "function", "calls", "total_seconds", "cumulative_seconds"
+            }
+            assert isinstance(entry["function"], str)
+            assert entry["calls"] >= 1
+            assert entry["total_seconds"] >= 0.0
+
+    def test_exceptions_propagate(self):
+        def boom():
+            raise RuntimeError("no")
+
+        with pytest.raises(RuntimeError):
+            profile_call(boom, enabled=True)
+
+    def test_top_functions_sorted_by_exclusive_time(self):
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        sum(x * x for x in range(10000))
+        profiler.disable()
+        stats = top_functions(profiler)
+        times = [entry["total_seconds"] for entry in stats]
+        assert times == sorted(times, reverse=True)
+
+
+class TestPassivity:
+    """Simulated charges and result relations must be bit-identical with
+    the profiler on or off — it observes, never perturbs."""
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_simulated_backend(self, bdcc_db, environment, workers):
+        rel_off, m_off = _run(bdcc_db, environment, "Q01", workers=workers)
+        rel_on, m_on = _run(
+            bdcc_db, environment, "Q01", workers=workers, profile=True
+        )
+        assert _identical(rel_off, rel_on)
+        assert m_on.total_seconds == m_off.total_seconds
+        assert m_on.makespan_seconds == m_off.makespan_seconds
+        assert m_on.io_bytes == m_off.io_bytes
+        assert m_on.peak_memory_bytes == m_off.peak_memory_bytes
+
+    def test_fragments_carry_profile_only_when_enabled(
+        self, bdcc_db, environment
+    ):
+        _, m_off = _run(bdcc_db, environment, "Q06", workers=4)
+        _, m_on = _run(bdcc_db, environment, "Q06", workers=4, profile=True)
+        assert all(not f.profile for f in m_off.fragments)
+        profiled = [f for f in m_on.fragments if f.profile]
+        assert profiled
+        for fragment in profiled:
+            assert len(fragment.profile) <= TOP_FUNCTIONS
+
+    @pytest.mark.backend
+    def test_process_backend(self, bdcc_db, environment):
+        rel_off, m_off = _run(
+            bdcc_db, environment, "Q01", workers=4, backend="process"
+        )
+        rel_on, m_on = _run(
+            bdcc_db, environment, "Q01", workers=4, backend="process",
+            profile=True,
+        )
+        assert _identical(rel_off, rel_on)
+        assert m_on.total_seconds == m_off.total_seconds
+        assert m_on.makespan_seconds == m_off.makespan_seconds
+        assert any(f.profile for f in m_on.fragments)
+
+
+class TestTraceProfileSlices:
+    def test_profile_slices_validate_and_nest(self, bdcc_db, environment):
+        executor = Executor(
+            bdcc_db,
+            disk=environment.disk,
+            costs=environment.cost_model,
+            options=ExecutionOptions(
+                workers=4, min_partition_rows=256, profile=True
+            ),
+        )
+        try:
+            runner = QueryRunner(executor)
+            QUERIES["Q01"](runner)
+            builder = TraceBuilder()
+            builder.add_execution("Q01", runner.metrics)
+            events = list(builder.events)
+        finally:
+            executor.close()
+        assert validate_trace_events(events) == []
+        profile_slices = [e for e in events if e.get("cat") == "profile"]
+        assert profile_slices
+        for event in profile_slices:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0
+            assert "share_of_profiled" in event["args"]
+
+    def test_no_profile_slices_when_disabled(self, bdcc_db, environment):
+        executor = Executor(
+            bdcc_db,
+            disk=environment.disk,
+            costs=environment.cost_model,
+            options=ExecutionOptions(workers=4, min_partition_rows=256),
+        )
+        try:
+            runner = QueryRunner(executor)
+            QUERIES["Q01"](runner)
+            builder = TraceBuilder()
+            builder.add_execution("Q01", runner.metrics)
+            events = list(builder.events)
+        finally:
+            executor.close()
+        assert validate_trace_events(events) == []
+        assert not [e for e in events if e.get("cat") == "profile"]

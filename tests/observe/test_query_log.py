@@ -5,11 +5,13 @@ import pytest
 
 from repro.observe import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     QueryLog,
     build_record,
     plan_fingerprint,
     read_records,
     record_errors,
+    summarize_records,
     validate_record,
 )
 from repro.planner.executor import ExecutionOptions, Executor
@@ -17,8 +19,10 @@ from repro.tpch.queries import QUERIES
 from repro.tpch.runner import QueryRunner
 
 
-def _record(pdb, environment, qname, workers=1):
-    options = ExecutionOptions(workers=workers, min_partition_rows=256)
+def _record(pdb, environment, qname, workers=1, profile=False):
+    options = ExecutionOptions(
+        workers=workers, min_partition_rows=256, profile=profile
+    )
     executor = Executor(
         pdb, disk=environment.disk, costs=environment.cost_model, options=options
     )
@@ -114,6 +118,74 @@ class TestValidator:
     def test_validate_record_raises(self):
         with pytest.raises(ValueError):
             validate_record({"schema_version": SCHEMA_VERSION})
+
+    def test_v2_requires_registry_delta(self, bdcc_db, environment):
+        record = _record(bdcc_db, environment, "Q06")
+        assert record["schema_version"] == 2
+        assert "registry_delta" in record
+        stripped = dict(record)
+        del stripped["registry_delta"]
+        assert any("registry_delta" in e for e in record_errors(stripped))
+
+    def test_v1_record_is_accepted_without_delta(self, bdcc_db, environment):
+        record = dict(_record(bdcc_db, environment, "Q06"))
+        del record["registry_delta"]
+        record["schema_version"] = 1
+        assert 1 in SUPPORTED_SCHEMA_VERSIONS
+        assert record_errors(record) == []
+
+    def test_malformed_registry_delta_is_rejected(self, bdcc_db, environment):
+        record = dict(_record(bdcc_db, environment, "Q06"))
+        record["registry_delta"] = {"counters": {"plan_cache.hits": "three"}}
+        assert any("registry_delta" in e for e in record_errors(record))
+
+    def test_fragment_profile_entries_are_validated(
+        self, bdcc_db, environment
+    ):
+        record = _record(bdcc_db, environment, "Q01", workers=4, profile=True)
+        assert record_errors(record) == []
+        assert any(f.get("profile") for f in record["fragments"])
+
+        tampered = dict(record)
+        fragments = [dict(f) for f in record["fragments"]]
+        profiled = next(i for i, f in enumerate(fragments) if f.get("profile"))
+        entries = [dict(e) for e in fragments[profiled]["profile"]]
+        entries[0]["calls"] = "many"
+        fragments[profiled]["profile"] = entries
+        tampered["fragments"] = fragments
+        assert any("profile" in e for e in record_errors(tampered))
+
+
+class TestSummarize:
+    def test_per_label_and_overall_view(self, bdcc_db, environment):
+        records = [
+            _record(bdcc_db, environment, "Q06"),
+            _record(bdcc_db, environment, "Q06"),
+            _record(bdcc_db, environment, "Q01", workers=4),
+        ]
+        summary = summarize_records(records)
+        assert set(summary) == {"queries", "overall"}
+        q06 = summary["queries"]["Q06/bdcc"]
+        assert q06["records"] == 2
+        assert q06["p50_simulated_seconds"] > 0.0
+        assert q06["p95_simulated_seconds"] >= q06["p50_simulated_seconds"]
+        overall = summary["overall"]
+        assert overall["records"] == 3
+        assert overall["queries"] == 2
+        # v2 records carry deltas, so rates come from the summed deltas
+        assert overall["cache_source"] == "registry_delta"
+
+    def test_v1_log_falls_back_to_cumulative(self, bdcc_db, environment):
+        record = dict(_record(bdcc_db, environment, "Q06"))
+        del record["registry_delta"]
+        record["schema_version"] = 1
+        summary = summarize_records([record])
+        assert summary["overall"]["cache_source"] == "cumulative (v1 log)"
+
+    def test_empty_log(self):
+        summary = summarize_records([])
+        assert summary["queries"] == {}
+        assert summary["overall"]["records"] == 0
 
 
 class TestQueryLog:

@@ -1,0 +1,182 @@
+"""The regression sentinel: direction inference, noise bands, and the
+latest-vs-baseline gate over synthetic ledger series."""
+
+import pytest
+
+from repro.observe.history import append_record, ledger_path, read_ledger
+from repro.observe.regress import (
+    RegressionPolicy,
+    check_directory,
+    check_ledger,
+    format_table,
+    metric_direction,
+)
+
+POLICY = RegressionPolicy()
+
+
+def _ledger(tmp_path, rows, name="demo", metas=None):
+    """Append one record per metric-dict in ``rows`` and read it back."""
+    for i, metrics in enumerate(rows):
+        meta = metas[i] if metas else {"sf": 0.02}
+        append_record(
+            name, metrics, meta=meta, directory=tmp_path,
+            timestamp=f"2026-01-{i + 1:02d}T00:00:00Z",
+        )
+    return read_ledger(ledger_path(name, tmp_path))
+
+
+class TestMetricDirection:
+    @pytest.mark.parametrize(
+        "metric,direction",
+        [
+            ("q1.makespan_seconds", "lower"),
+            ("total_seconds", "lower"),
+            ("peak_memory_bytes", "lower"),
+            ("cache.misses", "lower"),
+            ("median_rel_error", "lower"),
+            ("speedup.Q06.4", "higher"),
+            ("cache.hit_rate", "higher"),
+            ("pearson_r", "higher"),
+            ("ok", "higher"),
+            ("drift.residual", "lower"),
+            # a tie between lower/higher tokens resolves to lower
+            ("miss_rate", "lower"),
+            # no recognized token: not gated at all
+            ("sandwich.bits", None),
+            ("scale", None),
+        ],
+    )
+    def test_token_table(self, metric, direction):
+        assert metric_direction(metric) == direction
+
+
+class TestNoiseBand:
+    def test_simulated_metrics_get_the_tight_band(self):
+        band = POLICY.band("q1.makespan_seconds", 10.0, [10.0] * 5)
+        assert band == pytest.approx(1.0)  # rel_tolerance * baseline
+
+    def test_measured_metrics_get_the_wide_band(self):
+        band = POLICY.band("q1.measured_wall", 10.0, [10.0] * 5)
+        assert band == pytest.approx(15.0)  # measured_rel_tolerance
+
+    def test_mad_widens_the_band_for_noisy_series(self):
+        window = [10.0, 14.0, 6.0, 13.0, 7.0]
+        band = POLICY.band("q1.makespan_seconds", 10.0, window)
+        assert band > POLICY.rel_tolerance * 10.0
+
+    def test_absolute_tolerance_floor_by_last_token(self):
+        assert POLICY.band("drift.pearson_r", 0.99, [0.99] * 5) >= 0.25
+
+
+class TestCheckLedger:
+    def test_flat_series_passes(self, tmp_path):
+        ledger = _ledger(tmp_path, [{"q1.makespan_seconds": 1.0}] * 4)
+        verdict = check_ledger(ledger)
+        assert verdict.passed
+        assert verdict.regressions == []
+        assert verdict.baseline_records == 3
+
+    def test_injected_regression_fails_and_names_the_metric(self, tmp_path):
+        rows = [{"q1.makespan_seconds": 1.0, "q1.rows": 100.0}] * 3
+        rows = rows + [{"q1.makespan_seconds": 2.0, "q1.rows": 100.0}]
+        verdict = check_ledger(_ledger(tmp_path, rows))
+        assert not verdict.passed
+        assert [v.metric for v in verdict.regressions] == ["q1.makespan_seconds"]
+        bad = verdict.regressions[0]
+        assert bad.direction == "lower"
+        assert bad.baseline == pytest.approx(1.0)
+        assert bad.latest == pytest.approx(2.0)
+        assert "REGRESSED" in format_table(verdict)
+        assert "q1.makespan_seconds" in format_table(verdict)
+
+    def test_noisy_but_flat_stays_green(self, tmp_path):
+        values = [1.00, 1.08, 0.93, 1.05, 0.96, 1.07]
+        rows = [{"q1.makespan_seconds": v} for v in values]
+        assert check_ledger(_ledger(tmp_path, rows)).passed
+
+    def test_higher_is_better_regresses_downward(self, tmp_path):
+        rows = [{"speedup.Q06": 3.0}] * 3 + [{"speedup.Q06": 1.5}]
+        verdict = check_ledger(_ledger(tmp_path, rows))
+        assert [v.metric for v in verdict.regressions] == ["speedup.Q06"]
+
+    def test_improvement_is_reported_not_failed(self, tmp_path):
+        rows = [{"q1.makespan_seconds": 2.0}] * 3 + [{"q1.makespan_seconds": 1.0}]
+        verdict = check_ledger(_ledger(tmp_path, rows))
+        assert verdict.passed
+        assert [v.metric for v in verdict.verdicts if v.status == "improved"] == [
+            "q1.makespan_seconds"
+        ]
+
+    def test_undirected_metrics_are_ungated(self, tmp_path):
+        rows = [{"sandwich.bits": 16.0}] * 3 + [{"sandwich.bits": 99.0}]
+        verdict = check_ledger(_ledger(tmp_path, rows))
+        assert verdict.passed
+        assert verdict.verdicts[0].status == "ungated"
+
+    def test_new_metric_passes_as_new(self, tmp_path):
+        rows = [{"a.seconds": 1.0}] * 3 + [{"a.seconds": 1.0, "b.seconds": 5.0}]
+        verdict = check_ledger(_ledger(tmp_path, rows))
+        assert verdict.passed
+        assert [v.metric for v in verdict.verdicts if v.status == "new"] == [
+            "b.seconds"
+        ]
+
+    def test_meta_mismatch_yields_no_baseline(self, tmp_path):
+        metas = [{"sf": 0.01}, {"sf": 0.01}, {"sf": 0.02}]
+        rows = [{"q.seconds": 1.0}, {"q.seconds": 1.0}, {"q.seconds": 99.0}]
+        verdict = check_ledger(_ledger(tmp_path, rows, metas=metas))
+        # the SF=0.01 records are not comparable to the SF=0.02 latest
+        assert verdict.passed
+        assert verdict.baseline_records == 0
+
+    def test_baseline_is_median_of_window(self, tmp_path):
+        # one historic outlier must not drag the baseline with it
+        values = [1.0, 1.0, 9.0, 1.0, 1.0, 1.05]
+        rows = [{"q.seconds": v} for v in values]
+        verdict = check_ledger(_ledger(tmp_path, rows))
+        assert verdict.passed
+        gated = [v for v in verdict.verdicts if v.metric == "q.seconds"]
+        assert gated[0].baseline == pytest.approx(1.0)
+
+    def test_window_limits_the_baseline_pool(self, tmp_path):
+        rows = [{"q.seconds": 9.0}] * 5 + [{"q.seconds": 1.0}] * 2 + [
+            {"q.seconds": 1.0}
+        ]
+        policy = RegressionPolicy(window=2)
+        verdict = check_ledger(_ledger(tmp_path, rows), policy)
+        assert verdict.passed
+        assert verdict.baseline_records == 2
+
+    def test_single_record_ledger_passes_with_note(self, tmp_path):
+        verdict = check_ledger(_ledger(tmp_path, [{"q.seconds": 1.0}]))
+        assert verdict.passed
+        assert verdict.baseline_records == 0
+        assert verdict.notes
+
+    def test_ledger_corruption_fails_the_gate(self, tmp_path):
+        import json
+
+        _ledger(tmp_path, [{"q.seconds": 1.0}] * 2)
+        path = ledger_path("demo", tmp_path)
+        document = json.loads(path.read_text())
+        document["records"][0]["metrics"] = "mangled"
+        path.write_text(json.dumps(document))
+        verdict = check_ledger(read_ledger(path))
+        assert not verdict.passed
+
+
+class TestCheckDirectory:
+    def test_checks_every_ledger(self, tmp_path):
+        _ledger(tmp_path, [{"q.seconds": 1.0}] * 3, name="alpha")
+        _ledger(
+            tmp_path,
+            [{"q.seconds": 1.0}] * 3 + [{"q.seconds": 5.0}],
+            name="beta",
+        )
+        verdicts = check_directory(tmp_path)
+        assert [v.name for v in verdicts] == ["alpha", "beta"]
+        assert verdicts[0].passed and not verdicts[1].passed
+
+    def test_empty_directory_is_empty_not_an_error(self, tmp_path):
+        assert check_directory(tmp_path) == []

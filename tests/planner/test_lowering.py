@@ -375,7 +375,7 @@ class TestPlanCacheKeyedOnEveryOption:
         runtime_only = ExecutionOptions._RUNTIME_ONLY
         assert runtime_only == {
             "workers", "min_partition_rows", "enable_copartition",
-            "enable_partial_agg", "backend",
+            "enable_partial_agg", "backend", "profile",
         }
         # every planning field plus the physical database's update epoch
         assert len(options.cache_key()) == (
