@@ -63,15 +63,34 @@ HIGHER_IS_BETTER = frozenset(
 MEASURED_TOKENS = frozenset({"wall", "measured", "rel", "pearson", "stddev"})
 
 
+#: denominator tokens that make an ``X_per_<unit>`` name a *rate over
+#: time* — throughput-shaped, so higher is better (unless the numerator
+#: itself is a bad thing: ``errors_per_second`` stays lower-is-better).
+_TIME_UNIT_TOKENS = frozenset({"second", "seconds", "sec", "secs", "minute", "min"})
+
+
 def _tokens(metric: str) -> List[str]:
     return metric.replace("-", "_").replace(".", "_").lower().split("_")
 
 
 def metric_direction(metric: str) -> Optional[str]:
     """``"lower"``, ``"higher"`` or ``None`` (ungated) for a metric
-    name.  Lower-is-better tokens win ties (``miss_rate`` is a rate,
-    but it is a rate of *misses* — up is bad)."""
-    tokens = set(_tokens(metric))
+    name.  Rates over time (``queries_per_second``, ``rows_per_sec``)
+    are recognized by shape and gate higher-is-better — unless the
+    numerator names a lower-is-better quantity (``errors_per_second``).
+    Otherwise lower-is-better tokens win ties (``miss_rate`` is a rate,
+    but it is a rate of *misses* — up is bad); note ``seconds_per_query``
+    has no time-unit *denominator*, so it falls through to the ordinary
+    token rules and stays lower-is-better."""
+    ordered = _tokens(metric)
+    if "per" in ordered:
+        at = ordered.index("per")
+        numerator, denominator = set(ordered[:at]), set(ordered[at + 1:])
+        if denominator & _TIME_UNIT_TOKENS:
+            if numerator & LOWER_IS_BETTER:
+                return "lower"
+            return "higher"
+    tokens = set(ordered)
     if tokens & LOWER_IS_BETTER:
         return "lower"
     if tokens & HIGHER_IS_BETTER:

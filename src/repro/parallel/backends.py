@@ -52,7 +52,7 @@ from ..execution.relation import Relation
 from ..observe.profiling import profile_call
 from ..storage.io_model import DiskModel
 from .fragments import Fragment, ParallelPlan
-from .scheduler import merge_parallel_metrics, run_parallel
+from .scheduler import execute_fragments, merge_parallel_metrics, run_parallel
 
 __all__ = [
     "ExecutionBackend",
@@ -246,6 +246,17 @@ class ExecutionBackend:
     ) -> Tuple[Relation, ExecutionMetrics]:
         raise NotImplementedError
 
+    def execute_fragments(
+        self, plan: ParallelPlan, disk: DiskModel, costs: CostModel,
+        profile: bool = False,
+    ) -> Tuple[Dict[int, Relation], Dict[int, ExecutionMetrics]]:
+        """The bare *run* stage: per-fragment results and charged
+        metrics, **without** the single-query time stage.  The serving
+        layer (``repro.serving``) uses this to produce exact results
+        and charges, then places the fragments on its own shared
+        multi-query timeline instead of a per-query schedule."""
+        raise NotImplementedError
+
     def close(self) -> None:  # backends holding pools/blocks override
         pass
 
@@ -258,6 +269,9 @@ class SimulatedBackend(ExecutionBackend):
 
     def run(self, plan, disk, costs, profile=False):
         return run_parallel(plan, disk, costs, profile=profile)
+
+    def execute_fragments(self, plan, disk, costs, profile=False):
+        return execute_fragments(plan, disk, costs, profile=profile)
 
 
 class ProcessBackend(ExecutionBackend):
@@ -313,6 +327,14 @@ class ProcessBackend(ExecutionBackend):
             pass
 
     # -------------------------------------------------------------- run
+    def execute_fragments(self, plan, disk, costs, profile=False):
+        if len(plan.fragments) <= 1:  # degenerate: nothing to dispatch
+            return execute_fragments(plan, disk, costs, profile=profile)
+        results, fragment_metrics, _ = self._execute(
+            plan, disk, costs, profile, time.perf_counter()
+        )
+        return results, fragment_metrics
+
     def run(self, plan, disk, costs, profile=False):
         started = time.perf_counter()
         if len(plan.fragments) <= 1:  # degenerate: nothing to dispatch
@@ -321,6 +343,27 @@ class ProcessBackend(ExecutionBackend):
             merged.measured_wall_seconds = time.perf_counter() - started
             return relation, merged
 
+        results, fragment_metrics, measured = self._execute(
+            plan, disk, costs, profile, started
+        )
+        relation, merged = merge_parallel_metrics(
+            plan, results, fragment_metrics, disk
+        )
+        merged.backend = self.name
+        for fragment_actuals in merged.fragments:
+            window = measured.get(fragment_actuals.index)
+            if window is not None:
+                fragment_actuals.measured_start_seconds = window[0]
+                fragment_actuals.measured_end_seconds = window[1]
+                fragment_actuals.measured_seconds = window[1] - window[0]
+        merged.measured_wall_seconds = time.perf_counter() - started
+        return relation, merged
+
+    def _execute(self, plan, disk, costs, profile, started):
+        """Dispatch the fragment DAG on the pool; the final (serial
+        tail) fragment runs in the parent.  Returns per-fragment
+        results, charged metrics, and measured wall-clock windows
+        rebased onto ``started``."""
         pool = self._ensure_pool(plan.workers)
         final = plan.final
         by_index: Dict[int, Fragment] = {f.index: f for f in plan.fragments}
@@ -398,19 +441,7 @@ class ProcessBackend(ExecutionBackend):
         metrics.rows_produced = relation.num_rows
         results[final.index] = relation
         fragment_metrics[final.index] = metrics
-
-        relation, merged = merge_parallel_metrics(
-            plan, results, fragment_metrics, disk
-        )
-        merged.backend = self.name
-        for fragment_actuals in merged.fragments:
-            window = measured.get(fragment_actuals.index)
-            if window is not None:
-                fragment_actuals.measured_start_seconds = window[0]
-                fragment_actuals.measured_end_seconds = window[1]
-                fragment_actuals.measured_seconds = window[1] - window[0]
-        merged.measured_wall_seconds = time.perf_counter() - started
-        return relation, merged
+        return results, fragment_metrics, measured
 
 
 BACKEND_NAMES = ("simulated", "process")

@@ -55,6 +55,7 @@ from .fragments import ParallelPlan
 __all__ = [
     "FragmentWork",
     "ScheduledFragment",
+    "TimelineSimulator",
     "simulate_schedule",
     "concurrent_peak",
     "execute_fragments",
@@ -87,6 +88,206 @@ class ScheduledFragment:
     end_seconds: float = 0.0
 
 
+class TimelineSimulator:
+    """Online form of the deterministic list scheduler.
+
+    The batch :func:`simulate_schedule` places a *closed* set of works;
+    the serving layer (``repro.serving``) needs the same timeline rules
+    while work keeps arriving — fragments of newly admitted queries,
+    refresh-commit work, background compaction.  This class keeps the
+    identical semantics — among ready works the one with the highest
+    priority first (default: most total work, ties by index) onto the
+    lowest-numbered free worker; concurrent IO phases share the disk
+    through ``stream_rate``; phase finishes processed in index order —
+    but exposes an incremental interface: :meth:`add_works` registers
+    work at the current instant, :meth:`run_until` advances the clock to
+    the next completion (or a caller-supplied horizon), and the caller
+    reacts to completions by adding more work.  ``simulate_schedule`` is
+    a thin wrapper, so the single-query timing model and the multi-query
+    serving timeline can never drift apart.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        streams: int = 1,
+        stream_rate: Optional[Callable[[int], float]] = None,
+        priority: Optional[Callable[[FragmentWork], Tuple]] = None,
+    ):
+        self.workers = max(int(workers), 1)
+        if stream_rate is None:
+            stream_rate = DiskModel(
+                parallel_streams=max(int(streams), 1)
+            ).stream_rate
+        self._stream_rate = stream_rate
+        self._priority_of = priority or (
+            lambda w: (-(w.io_seconds + w.cpu_seconds), w.index)
+        )
+        self.now = 0.0
+        self.works: Dict[int, FragmentWork] = {}
+        self.slots: Dict[int, ScheduledFragment] = {}
+        self._remaining_deps: Dict[int, set] = {}
+        self._dependents: Dict[int, List[int]] = {}
+        self._ready: List[int] = []
+        self._free: List[int] = list(range(self.workers))
+        #: index -> [phase ("io"|"cpu"), remaining seconds, worker]
+        self._running: Dict[int, list] = {}
+        self._completed: set = set()
+        self.makespan = 0.0
+
+    # ------------------------------------------------------------ state
+    @property
+    def pending(self) -> int:
+        """Registered works not yet completed."""
+        return len(self.works) - len(self._completed)
+
+    @property
+    def idle(self) -> bool:
+        return not self._running and not self._ready
+
+    def _priority(self, index: int) -> Tuple:
+        return self._priority_of(self.works[index])
+
+    # ------------------------------------------------------------ input
+    def add_works(self, works: List[FragmentWork]) -> None:
+        """Register works at the current instant.  ``depends_on`` may
+        reference works in the same batch, earlier batches, or already
+        completed ones; indices must be unique across the timeline's
+        whole life."""
+        for w in works:
+            if w.index in self.works:
+                raise ValueError(f"duplicate work index {w.index}")
+            self.works[w.index] = w
+            self.slots[w.index] = ScheduledFragment(
+                index=w.index, ready_seconds=self.now
+            )
+            deps = {d for d in w.depends_on if d not in self._completed}
+            self._remaining_deps[w.index] = deps
+            for dep in deps:
+                self._dependents.setdefault(dep, []).append(w.index)
+            if not deps:
+                self._ready.append(w.index)
+        self._ready.sort(key=self._priority)
+
+    # --------------------------------------------------------- stepping
+    def _dispatch(self) -> None:
+        while self._free and self._ready:
+            index = self._ready.pop(0)
+            worker = self._free.pop(0)
+            w = self.works[index]
+            slot = self.slots[index]
+            slot.worker = worker
+            slot.start_seconds = self.now
+            if w.io_seconds > _EPS:
+                self._running[index] = ["io", w.io_seconds, worker]
+            else:
+                slot.io_end_seconds = self.now
+                self._running[index] = ["cpu", w.cpu_seconds, worker]
+
+    def _next_step(self) -> Tuple[float, float]:
+        """The ``(step, io rate)`` to the next phase finish among the
+        currently running works (dispatch must already have happened)."""
+        active_io = sum(1 for state in self._running.values() if state[0] == "io")
+        rate = max(self._stream_rate(active_io), 1e-12) if active_io else 1.0
+        step = min(
+            state[1] / rate if state[0] == "io" else state[1]
+            for state in self._running.values()
+        )
+        return max(step, 0.0), rate
+
+    def next_event_time(self) -> Optional[float]:
+        """The instant of the next phase finish, or ``None`` if nothing
+        is running (after dispatching anything ready).  Exact: the
+        active set — hence the shared-disk rate — cannot change before
+        it."""
+        self._dispatch()
+        if not self._running:
+            return None
+        step, _ = self._next_step()
+        return self.now + step
+
+    def run_until(self, until: Optional[float] = None) -> List[int]:
+        """Advance the clock to the first instant at which one or more
+        works *complete* (internal IO->CPU phase transitions do not
+        stop the run), or to ``until``, whichever comes first; ``None``
+        means run until idle.  Returns the indices completed at the
+        stopping instant in index order (empty when ``until`` or
+        idleness was reached first).  The clock never exceeds
+        ``until``."""
+        while True:
+            self._dispatch()
+            if not self._running:
+                if until is not None and self.now < until:
+                    self.now = until
+                return []
+            step, rate = self._next_step()
+            target = self.now + step
+            if until is not None and target > until:
+                partial = until - self.now
+                if partial > 0.0:
+                    for state in self._running.values():
+                        state[1] -= partial * (
+                            rate if state[0] == "io" else 1.0
+                        )
+                    self.now = until
+                return []
+            self.now = target
+            finished_phase = []
+            for index, state in self._running.items():
+                state[1] -= step * (rate if state[0] == "io" else 1.0)
+                if state[1] <= _EPS:
+                    finished_phase.append(index)
+            completed: List[int] = []
+            for index in sorted(finished_phase):
+                phase, _, worker = self._running[index]
+                slot = self.slots[index]
+                if phase == "io":
+                    slot.io_end_seconds = self.now
+                    cpu = self.works[index].cpu_seconds
+                    if cpu > _EPS:
+                        self._running[index] = ["cpu", cpu, worker]
+                        continue
+                slot.end_seconds = self.now
+                del self._running[index]
+                self._completed.add(index)
+                completed.append(index)
+                self._free.append(worker)
+                self._free.sort()
+                for dependent in self._dependents.get(index, ()):
+                    deps = self._remaining_deps[dependent]
+                    deps.discard(index)
+                    if not deps and dependent not in self._running:
+                        self.slots[dependent].ready_seconds = self.now
+                        self._ready.append(dependent)
+                self._ready.sort(key=self._priority)
+            if completed:
+                self.makespan = max(self.makespan, self.now)
+                return completed
+
+    def run_to_idle(self) -> List[int]:
+        """Run until nothing is runnable, returning every completion in
+        completion order.  Raises if registered works can never run
+        (dependency cycle)."""
+        completed: List[int] = []
+        while True:
+            batch = self.run_until(None)
+            if not batch:
+                break
+            completed.extend(batch)
+        if self.pending and self.idle:
+            raise RuntimeError(
+                "fragment dependency cycle: nothing runnable"
+            )
+        return completed
+
+    def busy_seconds(self) -> float:
+        """Total worker-occupied seconds over completed works."""
+        return sum(
+            self.slots[i].end_seconds - self.slots[i].start_seconds
+            for i in self._completed
+        )
+
+
 def simulate_schedule(
     works: List[FragmentWork],
     workers: int,
@@ -102,84 +303,12 @@ def simulate_schedule(
     the number of active streams, defaulting to
     :meth:`~repro.storage.io_model.DiskModel.stream_rate` of a device
     with ``streams`` parallel streams.  Returns the per-fragment slots
-    and the makespan."""
-    workers = max(int(workers), 1)
-    if stream_rate is None:
-        stream_rate = DiskModel(parallel_streams=max(int(streams), 1)).stream_rate
-    slots = {w.index: ScheduledFragment(index=w.index) for w in works}
-    remaining_deps = {w.index: set(w.depends_on) for w in works}
-    dependents: Dict[int, List[FragmentWork]] = {}
-    for w in works:
-        for dep in w.depends_on:
-            dependents.setdefault(dep, []).append(w)
-    by_index = {w.index: w for w in works}
-
-    def priority(index: int) -> Tuple[float, int]:
-        w = by_index[index]
-        return (-(w.io_seconds + w.cpu_seconds), index)
-
-    ready = sorted(
-        (w.index for w in works if not remaining_deps[w.index]), key=priority
-    )
-    free = list(range(workers))
-    #: index -> [phase ("io"|"cpu"), remaining seconds, worker]
-    running: Dict[int, list] = {}
-    now = 0.0
-    done = 0
-
-    while done < len(works):
-        while free and ready:
-            index = ready.pop(0)
-            worker = free.pop(0)
-            w = by_index[index]
-            slot = slots[index]
-            slot.worker = worker
-            slot.start_seconds = now
-            if w.io_seconds > _EPS:
-                running[index] = ["io", w.io_seconds, worker]
-            else:
-                slot.io_end_seconds = now
-                running[index] = ["cpu", w.cpu_seconds, worker]
-        if not running:
-            raise RuntimeError("fragment dependency cycle: nothing runnable")
-
-        active_io = sum(1 for state in running.values() if state[0] == "io")
-        rate = max(stream_rate(active_io), 1e-12) if active_io else 1.0
-        step = min(
-            state[1] / rate if state[0] == "io" else state[1]
-            for state in running.values()
-        )
-        step = max(step, 0.0)
-        now += step
-        finished_phase = []
-        for index, state in running.items():
-            state[1] -= step * (rate if state[0] == "io" else 1.0)
-            if state[1] <= _EPS:
-                finished_phase.append(index)
-        for index in sorted(finished_phase):
-            phase, _, worker = running[index]
-            slot = slots[index]
-            if phase == "io":
-                slot.io_end_seconds = now
-                cpu = by_index[index].cpu_seconds
-                if cpu > _EPS:
-                    running[index] = ["cpu", cpu, worker]
-                    continue
-            slot.end_seconds = now
-            del running[index]
-            done += 1
-            free.append(worker)
-            free.sort()
-            for dependent in dependents.get(index, ()):
-                deps = remaining_deps[dependent.index]
-                deps.discard(index)
-                if not deps and dependent.index not in running:
-                    slots[dependent.index].ready_seconds = now
-                    ready.append(dependent.index)
-            ready.sort(key=priority)
-
-    makespan = max((s.end_seconds for s in slots.values()), default=0.0)
-    return [slots[w.index] for w in works], makespan
+    and the makespan.  (A thin wrapper over :class:`TimelineSimulator`,
+    which serves the same timeline rules incrementally.)"""
+    sim = TimelineSimulator(workers, streams=streams, stream_rate=stream_rate)
+    sim.add_works(works)
+    sim.run_to_idle()
+    return [sim.slots[w.index] for w in works], sim.makespan
 
 
 # --------------------------------------------------------------- memory

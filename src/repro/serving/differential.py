@@ -1,0 +1,348 @@
+"""The serving oracle: concurrent execution vs solo replay.
+
+The snapshot-isolation claim is falsifiable: every query served
+concurrently must produce **exactly** the rows it would produce running
+*alone* against the epoch state it pinned at admission.  This module
+checks it by replay:
+
+1. serve N generated query streams (plus optional refresh streams)
+   through a :class:`~repro.serving.engine.ServingEngine` over a fresh
+   database, keeping every result and the engine's ordered event log —
+   each instant the database was touched (``generate`` / ``commit`` /
+   ``execute``);
+2. rebuild an *identical* database (same datagen parameters), then walk
+   the event log: regenerate each item at its logged position (generated
+   plans and batches sample literals from the current data, so order is
+   identity), apply each commit, and execute each query **solo** through
+   a plain executor at exactly the state the serving run pinned;
+3. compare bit-for-bit (:func:`~repro.workload.differential.bitwise_mismatch`);
+   plans whose contracts allow reordering (co-partition gather) or
+   re-aggregation (merge agg) fall back to the normalized-multiset
+   comparison with per-dtype tolerances.  Optionally every solo result
+   is additionally checked against the naive reference evaluator —
+   reusing the update-differential oracle's machinery end to end.
+
+Epochs are cross-checked too: at each replayed execution the rebuilt
+database must sit at the very epochs the serving query pinned, or the
+replay (and hence the MVCC bookkeeping) is broken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..execution.cost import CostModel
+from ..planner.executor import ExecutionOptions, Executor
+from ..schemes.base import PhysicalDatabase
+from ..storage.io_model import DiskModel
+from ..workload.differential import (
+    bitwise_mismatch,
+    column_tolerances,
+    normalized_rows,
+    rows_match,
+)
+from ..workload.reference import evaluate_reference
+from .engine import ServingEngine
+from .metrics import QueryRecord, ServingReport
+from .snapshot import EpochSnapshot
+from .streams import GeneratedQueryStream, GeneratedRefreshStream
+from ..updates.session import UpdateSession
+
+__all__ = [
+    "ServingDivergence",
+    "ServingDifferentialReport",
+    "run_serving_differential",
+]
+
+
+@dataclass
+class ServingDivergence:
+    """One served query that failed its solo-replay (or reference)
+    check."""
+
+    scheme: str
+    policy: str
+    stream: str
+    seq: int
+    description: str
+    check: str                    # "solo" | "reference" | "epoch"
+    detail: str
+
+    def render(self) -> str:
+        return (
+            f"DIVERGENCE scheme={self.scheme} policy={self.policy} "
+            f"stream={self.stream} seq={self.seq} check={self.check}\n"
+            f"  query: {self.description}\n"
+            f"  {self.detail}"
+        )
+
+
+@dataclass
+class ServingDifferentialReport:
+    """Outcome of one serving-vs-solo sweep."""
+
+    seed: int
+    policy: str
+    workers: int
+    backend: str
+    queries_checked: int = 0
+    commits_replayed: int = 0
+    reference_checks: int = 0
+    divergences: List[ServingDivergence] = field(default_factory=list)
+    serving_reports: Dict[str, ServingReport] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "policy": self.policy,
+            "workers": self.workers,
+            "backend": self.backend,
+            "queries_checked": self.queries_checked,
+            "commits_replayed": self.commits_replayed,
+            "reference_checks": self.reference_checks,
+            "divergences": len(self.divergences),
+            "ok": self.ok,
+            "schemes": {
+                scheme: report.to_dict()
+                for scheme, report in self.serving_reports.items()
+            },
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"serving differential: seed={self.seed} policy={self.policy} "
+            f"workers={self.workers} backend={self.backend}",
+            f"  {self.queries_checked} served queries checked against solo "
+            f"replay, {self.commits_replayed} commits replayed, "
+            f"{self.reference_checks} reference checks",
+        ]
+        for scheme, report in self.serving_reports.items():
+            lines.append(report.render())
+        for divergence in self.divergences:
+            lines.append(divergence.render())
+        lines.append("PASS" if self.ok else "FAIL")
+        return "\n".join(lines)
+
+
+def _stream_seed(seed: int, position: int) -> int:
+    return (seed + 1009 * (position + 1)) & 0x7FFFFFFF
+
+
+def run_serving_differential(
+    build: Callable[[], Dict[str, PhysicalDatabase]],
+    seed: int = 0,
+    num_streams: int = 2,
+    queries_per_stream: int = 4,
+    refresh_rounds: int = 0,
+    policy: str = "fifo",
+    options: Optional[ExecutionOptions] = None,
+    max_concurrent: Optional[int] = None,
+    disk: Optional[DiskModel] = None,
+    costs: Optional[CostModel] = None,
+    schemes: Optional[Sequence[str]] = None,
+    check_reference: bool = False,
+    fail_fast: bool = False,
+    progress: Optional[Callable[[str, int], None]] = None,
+) -> ServingDifferentialReport:
+    """Serve, replay solo, compare.  ``build`` must return a *fresh*
+    identical ``{scheme: PhysicalDatabase}`` mapping on every call (the
+    serving run mutates its copy; the replay needs a pristine one)."""
+    options = options or ExecutionOptions()
+    report = ServingDifferentialReport(
+        seed=seed,
+        policy=policy,
+        workers=max(int(options.workers), 1),
+        backend=options.backend,
+    )
+
+    first = build()
+    wanted = list(schemes) if schemes is not None else list(first)
+    for scheme in wanted:
+        pdbs = first if first is not None else build()
+        first = None
+        serving_report = _serve_once(
+            pdbs[scheme], seed, num_streams, queries_per_stream,
+            refresh_rounds, policy, options, max_concurrent, disk, costs,
+        )
+        report.serving_reports[scheme] = serving_report
+        _replay_and_compare(
+            report, serving_report, build()[scheme], seed, num_streams,
+            queries_per_stream, refresh_rounds, options, disk, costs,
+            check_reference=check_reference, fail_fast=fail_fast,
+        )
+        if progress is not None:
+            progress(scheme, len(report.divergences))
+        if report.divergences and fail_fast:
+            break
+    return report
+
+
+def _build_query_streams(
+    db, seed: int, num_streams: int, queries_per_stream: int
+) -> List[GeneratedQueryStream]:
+    return [
+        GeneratedQueryStream(
+            f"s{i}", db, _stream_seed(seed, i), queries_per_stream
+        )
+        for i in range(num_streams)
+    ]
+
+
+def _serve_once(
+    pdb, seed, num_streams, queries_per_stream, refresh_rounds,
+    policy, options, max_concurrent, disk, costs,
+) -> ServingReport:
+    query_streams = _build_query_streams(
+        pdb.database, seed, num_streams, queries_per_stream
+    )
+    refresh_streams = []
+    if refresh_rounds > 0:
+        refresh_streams.append(
+            GeneratedRefreshStream(
+                "rf", pdb.database, _stream_seed(seed, -1), refresh_rounds
+            )
+        )
+    with ServingEngine(
+        pdb, disk=disk, costs=costs, options=options, policy=policy,
+        max_concurrent=max_concurrent, keep_results=True,
+    ) as engine:
+        return engine.serve(query_streams, refresh_streams)
+
+
+def _replay_and_compare(
+    report: ServingDifferentialReport,
+    serving_report: ServingReport,
+    pdb,
+    seed: int,
+    num_streams: int,
+    queries_per_stream: int,
+    refresh_rounds: int,
+    options: ExecutionOptions,
+    disk,
+    costs,
+    check_reference: bool,
+    fail_fast: bool,
+) -> None:
+    """Walk the serving run's event log against a pristine database."""
+    db = pdb.database
+    query_streams = {
+        s.name: s
+        for s in _build_query_streams(
+            db, seed, num_streams, queries_per_stream
+        )
+    }
+    refresh_streams = {}
+    if refresh_rounds > 0:
+        stream = GeneratedRefreshStream(
+            "rf", db, _stream_seed(seed, -1), refresh_rounds
+        )
+        refresh_streams[stream.name] = stream
+    records: Dict[tuple, QueryRecord] = {
+        (r.stream, r.seq): r for r in serving_report.queries
+    }
+    items: Dict[tuple, object] = {}
+    scheme = serving_report.scheme
+
+    with Executor(pdb, disk=disk, costs=costs, options=options) as executor:
+        for event in serving_report.events:
+            kind = event["kind"]
+            stream_name = event["stream"]
+            index = event["index"]
+            if kind == "generate":
+                items[(stream_name, index)] = query_streams[stream_name].item(index)
+            elif kind == "commit":
+                session = UpdateSession(pdb, disk=disk, costs=costs)
+                description = refresh_streams[stream_name].apply(index, session)
+                if description is not None:
+                    session.commit()
+                report.commits_replayed += 1
+            elif kind == "execute":
+                item = items.pop((stream_name, index))
+                record = records[(stream_name, index)]
+                _check_one(
+                    report, serving_report, executor, db, item, record, scheme,
+                    check_reference=check_reference,
+                )
+                if report.divergences and fail_fast:
+                    return
+
+
+def _check_one(
+    report: ServingDifferentialReport,
+    serving_report: ServingReport,
+    executor: Executor,
+    db,
+    item,
+    record: QueryRecord,
+    scheme: str,
+    check_reference: bool,
+) -> None:
+    def diverge(check: str, detail: str) -> None:
+        report.divergences.append(
+            ServingDivergence(
+                scheme=scheme,
+                policy=serving_report.policy,
+                stream=record.stream,
+                seq=record.seq,
+                description=record.description,
+                check=check,
+                detail=detail,
+            )
+        )
+
+    # the rebuilt database must sit exactly at the pinned epochs — if
+    # not, the replay order (or the engine's snapshot log) is wrong
+    pinned = record.snapshot
+    current = EpochSnapshot.pin(executor.pdb)
+    if current != pinned:
+        diverge(
+            "epoch",
+            f"replay epochs {current.as_dict()} != pinned {pinned.as_dict()}",
+        )
+        return
+    if record.relation is None:
+        diverge("solo", "serving run kept no result (keep_results=False)")
+        return
+
+    solo = executor.execute(item.plan).relation
+    report.queries_checked += 1
+    detail = bitwise_mismatch(solo, record.relation)
+    if detail is not None:
+        if record.reorders or record.reaggregates:
+            names = sorted(solo.column_names)
+            expected = normalized_rows(solo.columns, names)
+            got = normalized_rows(record.relation.columns, names)
+            tolerances = column_tolerances(
+                names, solo.columns, record.relation.columns
+            )
+            if not rows_match(expected, got, tolerances):
+                diverge("solo", f"order-insensitive mismatch: {detail}")
+        else:
+            diverge("solo", detail)
+    if check_reference:
+        reference = evaluate_reference(db, item.plan)
+        names = sorted(reference.visible_names)
+        got_names = sorted(record.relation.column_names)
+        if names != got_names:
+            diverge(
+                "reference",
+                f"column mismatch: reference {names}, served {got_names}",
+            )
+            return
+        expected = normalized_rows(reference.columns, names)
+        got = normalized_rows(record.relation.columns, names)
+        tolerances = column_tolerances(
+            names, reference.columns, record.relation.columns
+        )
+        report.reference_checks += 1
+        if not rows_match(expected, got, tolerances):
+            diverge(
+                "reference",
+                f"served result differs from the naive reference "
+                f"({len(expected)} vs {len(got)} rows)",
+            )

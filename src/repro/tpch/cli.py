@@ -147,7 +147,31 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
             "run N TPC-H refresh pairs (RF1 inserts / RF2 deletes) through "
             "the update subsystem instead of the query suite, reporting "
             "per-scheme refresh cost next to Q1/Q6 latency over the "
-            "refreshed (merge-on-read) state"
+            "refreshed (merge-on-read) state; with --streams the pairs "
+            "run as a concurrent refresh stream instead"
+        ),
+    )
+    parser.add_argument(
+        "--streams", type=int, default=0, metavar="N",
+        help=(
+            "TPC-H throughput test: serve N concurrent closed-loop query "
+            "streams (each a deterministic rotation of the selected "
+            "queries) through the multi-query serving layer on the shared "
+            "worker pool, reporting per-stream latency percentiles and "
+            "aggregate QPS; combine with --refresh for concurrent RF1/RF2 "
+            "commits under MVCC snapshot reads"
+        ),
+    )
+    parser.add_argument(
+        "--policy", choices=("fifo", "round-robin", "shortest"),
+        default="fifo",
+        help="admission (fairness) policy for --streams (default fifo)",
+    )
+    parser.add_argument(
+        "--max-concurrent", type=int, default=None, metavar="M",
+        help=(
+            "multiprogramming limit for --streams: at most M queries in "
+            "flight at once (default: the worker count)"
         ),
     )
     parser.add_argument(
@@ -183,6 +207,100 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
     return parser.parse_args(argv)
 
 
+def _run_serving(args, pdbs, env, selected, options, sink) -> int:
+    """The ``--streams N`` throughput test: N rotated closed-loop query
+    streams (plus an optional RF1/RF2 refresh stream) per scheme through
+    the serving layer."""
+    from ..observe import build_record
+    from ..serving import (
+        PlanListStream,
+        ServingEngine,
+        TpchRefreshStream,
+        capture_tpch_items,
+        serving_trace,
+    )
+
+    documents = {}
+    trace_builder = None
+    for sname, pdb in pdbs.items():
+        items = capture_tpch_items(
+            pdb, selected, disk=env.disk, costs=env.cost_model
+        )
+        streams = []
+        for i in range(args.streams):
+            # the TPC-H throughput test runs a distinct permutation per
+            # stream; a rotation is the deterministic, seed-free analogue
+            rotation = i % len(items)
+            rotated = items[rotation:] + items[:rotation]
+            streams.append(
+                PlanListStream(
+                    f"s{i:02d}",
+                    [item.plan for item in rotated],
+                    [item.description for item in rotated],
+                )
+            )
+        refresh = []
+        if args.refresh > 0:
+            refresh.append(
+                TpchRefreshStream(
+                    "rf", pdb.database, args.seed, pairs=args.refresh
+                )
+            )
+
+        observer = None
+        if sink.query_log is not None or sink.records is not None:
+            def observer(record, sname=sname, pdb=pdb):
+                log_record = build_record(
+                    f"{record.description}/{sname}/{record.stream}",
+                    record.metrics,
+                    pdb=pdb,
+                    scheme=sname,
+                    options=options,
+                    relation=record.relation,
+                )
+                if sink.query_log is not None:
+                    sink.query_log.write(log_record)
+                if sink.records is not None:
+                    sink.records.append(log_record)
+
+        with ServingEngine(
+            pdb, disk=env.disk, costs=env.cost_model, options=options,
+            policy=args.policy, max_concurrent=args.max_concurrent,
+            keep_results=False,
+        ) as engine:
+            report = engine.serve(streams, refresh, observer=observer)
+        documents[sname] = report.to_dict()
+        if sink.builder is not None:
+            trace_builder = serving_trace(report, builder=trace_builder)
+        if not args.json:
+            print(report.render())
+            print()
+    if trace_builder is not None:
+        trace_builder.write(sink.trace_path)
+    if sink.query_log is not None:
+        sink.query_log.close()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "schema_version": SCHEMA_VERSION,
+                    "kind": "tpch_serving",
+                    "scale_factor": args.sf,
+                    "seed": args.seed,
+                    "streams": args.streams,
+                    "policy": args.policy,
+                    "workers": options.workers,
+                    "refresh_pairs": args.refresh,
+                    "schemes": documents,
+                    "records": sink.records or [],
+                },
+                sort_keys=True,
+                indent=2,
+            )
+        )
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
     args = _parse_args(sys.argv[1:] if argv is None else argv)
     names = [s.strip() for s in args.schemes.split(",") if s.strip()]
@@ -211,6 +329,9 @@ def main(argv: List[str] | None = None) -> int:
     db = generate(scale_factor=args.sf, seed=args.seed)
     env = make_environment(args.sf)
     pdbs = build_schemes(db, env, include=names)
+
+    if args.streams > 0:
+        return _run_serving(args, pdbs, env, selected, options, sink)
 
     if args.refresh > 0:
         from .refresh import run_refresh_suite

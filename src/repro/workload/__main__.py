@@ -124,6 +124,26 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
             "the shared logical database, so it sees every commit)"
         ),
     )
+    parser.add_argument(
+        "--streams", type=int, default=0, metavar="N",
+        help=(
+            "run the concurrent-serving differential instead: serve N "
+            "generated closed-loop query streams (plus --updates refresh "
+            "rounds) through the multi-query serving layer, then replay "
+            "the recorded event log solo against a pristine identical "
+            "database — every served result must match its pinned-epoch "
+            "solo run bit-for-bit (and the naive reference)"
+        ),
+    )
+    parser.add_argument(
+        "--policy", choices=("fifo", "round-robin", "shortest"),
+        default="fifo",
+        help="admission policy for the --streams serving run (default fifo)",
+    )
+    parser.add_argument(
+        "--max-concurrent", type=int, default=None, metavar="M",
+        help="multiprogramming limit for --streams (default: worker count)",
+    )
     parser.add_argument("--fail-fast", action="store_true", help="stop at the first divergence")
     parser.add_argument("--verbose", action="store_true", help="per-query progress")
     parser.add_argument(
@@ -155,9 +175,62 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
     return parser.parse_args(argv)
 
 
+def _run_serving_mode(args, names: List[str]) -> int:
+    """``--streams N``: the concurrent-serving differential."""
+    from ..planner.executor import ExecutionOptions
+    from ..serving import run_serving_differential
+
+    env = make_environment(args.sf)
+    counts = [int(n) for n in args.workers.split(",") if n.strip()]
+    workers = counts[0] if counts else 4
+    options = ExecutionOptions(workers=workers, backend=args.backend)
+
+    def build():
+        db = generate(scale_factor=args.sf, seed=args.datagen_seed)
+        return build_schemes(db, env, include=names)
+
+    def progress(scheme: str, divergences: int) -> None:
+        print(
+            f"  {scheme}: served + replayed "
+            f"({divergences} divergence(s) so far)",
+            file=sys.stderr,
+        )
+
+    started = time.time()
+    report = run_serving_differential(
+        build,
+        seed=args.seed,
+        num_streams=args.streams,
+        queries_per_stream=max(args.queries // args.streams, 1),
+        refresh_rounds=args.updates,
+        policy=args.policy,
+        options=options,
+        max_concurrent=args.max_concurrent,
+        disk=env.disk,
+        costs=env.cost_model,
+        schemes=names,
+        check_reference=True,
+        fail_fast=args.fail_fast,
+        progress=progress if args.verbose else None,
+    )
+    if args.json:
+        document = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "serving_differential",
+            "report": report.to_dict(),
+        }
+        print(json.dumps(document, sort_keys=True, indent=2))
+    else:
+        print(report.render())
+    print(f"({time.time() - started:.1f}s)", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def main(argv: List[str] | None = None) -> int:
     args = _parse_args(sys.argv[1:] if argv is None else argv)
     names = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    if args.streams > 0:
+        return _run_serving_mode(args, names)
     print(
         f"generating TPC-H SF={args.sf} (seed {args.datagen_seed}) and "
         f"building {','.join(names)} ...",

@@ -33,6 +33,7 @@ __all__ = [
     "column_tolerances",
     "normalized_rows",
     "rows_match",
+    "bitwise_mismatch",
     "worst_relative_error",
     "run_differential",
     "run_update_differential",
@@ -408,6 +409,11 @@ def _bitwise_mismatch(serial, got) -> Optional[str]:
                 f"serial {a[where]!r}, parallel {b[where]!r})"
             )
     return None
+
+
+#: public name for external exact-comparison users (the serving
+#: differential); the underscore form stays the patchable internal hook.
+bitwise_mismatch = _bitwise_mismatch
 
 
 # ------------------------------------------------------------------ runner

@@ -50,6 +50,29 @@ class TestMetricDirection:
     def test_token_table(self, metric, direction):
         assert metric_direction(metric) == direction
 
+    @pytest.mark.parametrize(
+        "metric,direction",
+        [
+            # throughput-shaped rates over time gate higher-is-better
+            ("queries_per_second", "higher"),
+            ("serving.queries_per_second", "higher"),
+            ("rows_per_sec", "higher"),
+            ("streams.2.policy.fifo.qps", "higher"),
+            ("aggregate_qps", "higher"),
+            ("update_throughput", "higher"),
+            # ... unless the numerator itself is a bad thing
+            ("errors_per_second", "lower"),
+            ("misses_per_second", "lower"),
+            # a time-unit *numerator* is not a throughput rate
+            ("seconds_per_query", "lower"),
+            # "per" with a non-time denominator falls through untouched
+            ("rows_per_query", None),
+            ("bytes_per_row", "lower"),
+        ],
+    )
+    def test_rate_over_time_is_higher_is_better(self, metric, direction):
+        assert metric_direction(metric) == direction
+
 
 class TestNoiseBand:
     def test_simulated_metrics_get_the_tight_band(self):

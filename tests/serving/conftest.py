@@ -1,0 +1,36 @@
+"""Serving-suite fixtures: a tiny TPC-H build shared by the fast tests
+and a rebuildable factory for the differential (which needs pristine
+identical databases per replay)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tpch.datagen import generate
+from repro.tpch.environment import make_environment
+from repro.tpch.harness import build_schemes
+
+SERVING_SF = 0.002
+SERVING_SEED = 7
+
+
+def fresh_schemes(include=None):
+    """A pristine {scheme: PhysicalDatabase} build — call it again for
+    an identical copy (same datagen seed, fresh arrays)."""
+    db = generate(scale_factor=SERVING_SF, seed=SERVING_SEED)
+    env = make_environment(SERVING_SF)
+    if include is None:
+        return build_schemes(db, env)
+    return build_schemes(db, env, include=include)
+
+
+@pytest.fixture(scope="session")
+def serving_env():
+    return make_environment(SERVING_SF)
+
+
+@pytest.fixture()
+def bdcc_pdb():
+    """A fresh BDCC build per test (serving runs with refresh streams
+    mutate it)."""
+    return fresh_schemes(include=["bdcc"])["bdcc"]

@@ -1,0 +1,129 @@
+"""Admission-policy unit tests: ordering, tie-breaks, starvation
+bounds.  Pure data-structure tests — no database, no engine."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.serving.policies import (
+    POLICY_NAMES,
+    AdmissionPolicy,
+    FifoPolicy,
+    RoundRobinPolicy,
+    ShortestRemainingPolicy,
+    create_policy,
+)
+
+
+@dataclass
+class Ticket:
+    stream: str
+    submit_seq: int
+    estimated_work: float = 0.0
+
+
+def drain(policy, waiting):
+    """Admit everything, returning the tickets in admission order."""
+    waiting = list(waiting)
+    order = []
+    while waiting:
+        position = policy.select(waiting)
+        ticket = waiting.pop(position)
+        policy.on_admitted(ticket)
+        order.append(ticket)
+    return order
+
+
+class TestCreatePolicy:
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_by_name(self, name):
+        assert create_policy(name).name == name
+
+    def test_instance_passes_through(self):
+        policy = FifoPolicy()
+        assert create_policy(policy) is policy
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown admission policy"):
+            create_policy("lottery")
+
+    def test_abstract_select_raises(self):
+        with pytest.raises(NotImplementedError):
+            AdmissionPolicy().select([Ticket("a", 0)])
+
+
+class TestFifo:
+    def test_global_submission_order(self):
+        waiting = [Ticket("b", 3), Ticket("a", 1), Ticket("a", 2)]
+        order = drain(FifoPolicy(), waiting)
+        assert [t.submit_seq for t in order] == [1, 2, 3]
+
+    def test_ignores_streams_entirely(self):
+        waiting = [Ticket("z", 0), Ticket("a", 1), Ticket("z", 2)]
+        order = drain(FifoPolicy(), waiting)
+        assert [t.stream for t in order] == ["z", "a", "z"]
+
+
+class TestRoundRobin:
+    def test_rotates_across_streams(self):
+        waiting = [
+            Ticket("a", 0), Ticket("a", 1), Ticket("a", 2),
+            Ticket("b", 3), Ticket("b", 4), Ticket("c", 5),
+        ]
+        order = drain(RoundRobinPolicy(), waiting)
+        assert [t.stream for t in order] == ["a", "b", "c", "a", "b", "a"]
+
+    def test_fifo_within_a_stream(self):
+        waiting = [Ticket("a", 5), Ticket("a", 1), Ticket("a", 3)]
+        order = drain(RoundRobinPolicy(), waiting)
+        assert [t.submit_seq for t in order] == [1, 3, 5]
+
+    def test_never_admitted_streams_go_first_by_name(self):
+        policy = RoundRobinPolicy()
+        policy.on_admitted(Ticket("a", 0))
+        waiting = [Ticket("a", 1), Ticket("b", 2)]
+        assert policy.select(waiting) == 1  # b has never been admitted
+
+    def test_no_starvation_within_stream_count_window(self):
+        """With S streams all waiting, every stream is admitted at
+        least once in any window of S consecutive admissions."""
+        streams = [f"s{i}" for i in range(4)]
+        waiting = [
+            Ticket(streams[i % 4], seq) for seq, i in enumerate(range(24))
+        ]
+        order = drain(RoundRobinPolicy(), waiting)
+        admitted_streams = [t.stream for t in order]
+        window = len(streams)
+        for start in range(len(admitted_streams) - window + 1):
+            assert set(admitted_streams[start:start + window]) == set(streams)
+
+    def test_reset_forgets_history(self):
+        policy = RoundRobinPolicy()
+        policy.on_admitted(Ticket("b", 0))
+        policy.reset()
+        # after reset, both streams are "never admitted": name order wins
+        assert policy.select([Ticket("b", 1), Ticket("a", 2)]) == 1
+
+
+class TestShortestRemaining:
+    def test_smallest_estimate_first(self):
+        waiting = [
+            Ticket("a", 0, estimated_work=300.0),
+            Ticket("b", 1, estimated_work=10.0),
+            Ticket("c", 2, estimated_work=70.0),
+        ]
+        order = drain(ShortestRemainingPolicy(), waiting)
+        assert [t.stream for t in order] == ["b", "c", "a"]
+
+    def test_ties_break_by_submission_order(self):
+        waiting = [
+            Ticket("b", 2, estimated_work=5.0),
+            Ticket("a", 1, estimated_work=5.0),
+        ]
+        order = drain(ShortestRemainingPolicy(), waiting)
+        assert [t.submit_seq for t in order] == [1, 2]
+
+    def test_requests_estimates(self):
+        assert ShortestRemainingPolicy.needs_estimate is True
+        assert FifoPolicy.needs_estimate is False
+        assert RoundRobinPolicy.needs_estimate is False
